@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (short simulated duration, representative parameter subset), prints the
+resulting rows next to the paper's expectation and records the wall-clock cost
+of regenerating it through pytest-benchmark.  Set FIRELEDGER_BENCH_SCALE=full
+to run the paper's full grid (slow).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale, format_rows
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Scale used by all benchmarks (quick by default)."""
+    if os.environ.get("FIRELEDGER_BENCH_SCALE", "quick") == "full":
+        return ExperimentScale.full()
+    return ExperimentScale.quick()
+
+
+def run_and_report(benchmark, driver, scale, title, **kwargs):
+    """Run an experiment driver once under pytest-benchmark and print its rows."""
+    rows = benchmark.pedantic(lambda: driver(scale, **kwargs), rounds=1, iterations=1)
+    print(f"\n=== {title} ===")
+    print(format_rows(rows))
+    return rows

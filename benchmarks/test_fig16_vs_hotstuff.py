@@ -1,0 +1,11 @@
+"""Figure 16: FLO vs HotStuff on c5.4xlarge machines."""
+
+from repro.experiments import figure16_vs_hotstuff
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig16_vs_hotstuff(benchmark, bench_scale):
+    """Figure 16: FLO vs HotStuff on c5.4xlarge machines."""
+    rows = run_and_report(benchmark, figure16_vs_hotstuff, bench_scale, "Figure 16 - FLO vs HotStuff")
+    assert rows

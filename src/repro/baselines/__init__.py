@@ -1,0 +1,23 @@
+"""Baseline BFT ordering protocols used for the Section 7.6 comparison.
+
+Both baselines run on exactly the same simulated substrate (network, CPU cost
+model, workload) as FireLedger, which makes the comparison of Figures 16 and
+17 an apples-to-apples one in this reproduction:
+
+* :mod:`repro.baselines.hotstuff` — chained HotStuff with rotating leaders,
+  threshold-of-votes quorum certificates and the three-chain commit rule;
+* :mod:`repro.baselines.bftsmart` — a PBFT-style, leader-driven ordering
+  service in the mould of BFT-SMaRt (pre-prepare / prepare / commit).
+"""
+
+from repro.baselines.bftsmart import BFTSmartCluster, run_bftsmart_cluster
+from repro.baselines.hotstuff import HotStuffCluster, run_hotstuff_cluster
+from repro.baselines.result import BaselineResult
+
+__all__ = [
+    "run_hotstuff_cluster",
+    "run_bftsmart_cluster",
+    "HotStuffCluster",
+    "BFTSmartCluster",
+    "BaselineResult",
+]

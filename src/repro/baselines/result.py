@@ -1,0 +1,31 @@
+"""Shared result container for the baseline protocol runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.summary import LatencySummary
+
+
+@dataclass
+class BaselineResult:
+    """Throughput/latency of one baseline configuration."""
+
+    protocol: str
+    n_nodes: int
+    batch_size: int
+    tx_size: int
+    duration: float
+    blocks_committed: int
+    transactions_committed: int
+    latency: LatencySummary
+
+    @property
+    def tps(self) -> float:
+        """Transactions per second over the measured window."""
+        return self.transactions_committed / max(self.duration, 1e-9)
+
+    @property
+    def bps(self) -> float:
+        """Blocks per second over the measured window."""
+        return self.blocks_committed / max(self.duration, 1e-9)

@@ -1,0 +1,13 @@
+"""Broadcast primitives: Bracha reliable broadcast and atomic broadcast.
+
+Both are implemented as *reactive* modules (synchronous message handlers plus
+timers) rather than blocking processes, so they remain responsive regardless
+of what the main protocol loop is doing — exactly the role of the "panic
+thread" and the BFT-SMaRt consensus layer in the paper's implementation
+(Section 6.1.2).
+"""
+
+from repro.broadcast.atomic import AtomicBroadcast
+from repro.broadcast.reliable import ReliableBroadcast
+
+__all__ = ["ReliableBroadcast", "AtomicBroadcast"]

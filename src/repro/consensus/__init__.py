@@ -1,0 +1,13 @@
+"""Binary Byzantine consensus: the optimistic fast path and its fallback.
+
+:class:`~repro.consensus.obbc.OptimisticBinaryConsensus` implements Algorithm 4
+of the paper (OBBC_v): when every node proposes the favoured value the decision
+takes a single all-to-all communication step; otherwise an evidence-exchange
+step runs followed by a full binary Byzantine consensus
+(:class:`~repro.consensus.bbc.BinaryConsensus`).
+"""
+
+from repro.consensus.bbc import BinaryConsensus
+from repro.consensus.obbc import OBBCResult, OptimisticBinaryConsensus
+
+__all__ = ["BinaryConsensus", "OptimisticBinaryConsensus", "OBBCResult"]

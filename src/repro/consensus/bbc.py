@@ -1,0 +1,195 @@
+"""Fallback Binary Byzantine Consensus (BBC).
+
+This is the "regular BBC" that OBBC falls back to when the single-step fast
+path fails (Algorithm 4, line OB19).  The structure is a classic
+coordinator-based phase protocol in the partially synchronous model
+(DLS / PBFT-family):
+
+* **EST step** — every node broadcasts its current estimate and collects
+  ``n - f`` estimates; if one value clearly dominates (``>= n - 2f``
+  occurrences) the node adopts it.
+* **COORD step** — the phase coordinator (rotating, so within ``f + 1`` phases
+  a correct coordinator is reached) broadcasts its estimate; nodes that hear
+  it in time adopt it.
+* **AUX step** — every node broadcasts the value it ended the phase with and
+  collects ``n - f`` of them; a unanimous set decides that value.
+
+A node that decides broadcasts ``BBC_DECIDED``; any node that collects
+``f + 1`` matching ``DECIDED`` messages decides as well, which lets laggards
+terminate after the deciders have moved on.  With ``f < n/3`` two conflicting
+unanimous AUX sets cannot exist in the same phase, and the coordinator step
+drives convergence across phases once the network is synchronous.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.core.context import ProtocolContext
+
+BBC_EST = "BBC_EST"
+BBC_COORD = "BBC_COORD"
+BBC_AUX = "BBC_AUX"
+BBC_DECIDED = "BBC_DECIDED"
+
+#: Small wire size of a binary-consensus control message.
+_CONTROL_SIZE = 112
+
+
+class BinaryConsensus:
+    """One invocation of binary consensus for a given (worker, round) tag."""
+
+    def __init__(self, context: ProtocolContext, f: int, tag: object,
+                 coordinator_base: int = 0, phase_timeout: float = 0.05,
+                 max_phases: int = 64) -> None:
+        self.context = context
+        self.f = f
+        self.tag = tag
+        #: Deterministic offset for the rotating coordinator (e.g. the round
+        #: number), so every node agrees on who coordinates each phase.
+        self.coordinator_base = coordinator_base
+        self.phase_timeout = phase_timeout
+        self.max_phases = max_phases
+        self.phases_used = 0
+
+    # -------------------------------------------------------------- messaging
+    def _payload(self, phase: int, value: int) -> dict:
+        return {"tag": self.tag, "phase": phase, "value": value}
+
+    def _matcher(self, kind: str, phase: Optional[int] = None):
+        def _match(message) -> bool:
+            if message.kind not in (kind, BBC_DECIDED):
+                return False
+            payload = message.payload
+            if payload.get("tag") != self.tag:
+                return False
+            if message.kind == BBC_DECIDED:
+                return True
+            return phase is None or payload.get("phase") == phase
+        return _match
+
+    # ------------------------------------------------------------------- run
+    def propose(self, value: int):
+        """Run the consensus; returns the decided bit (process generator)."""
+        if value not in (0, 1):
+            raise ValueError("binary consensus values must be 0 or 1")
+        estimate = value
+        decided_votes: Counter = Counter()
+        n = self.context.n_nodes
+        quorum = n - self.f
+
+        for phase in range(self.max_phases):
+            self.phases_used = phase + 1
+
+            # --- EST step -------------------------------------------------
+            self.context.broadcast(BBC_EST, self._payload(phase, estimate),
+                                   size_bytes=_CONTROL_SIZE, include_self=True)
+            estimates, decision = yield from self._collect(
+                BBC_EST, phase, quorum, decided_votes)
+            if decision is not None:
+                return decision
+            counts = Counter(estimates)
+            for candidate, count in counts.items():
+                if count >= n - 2 * self.f:
+                    estimate = candidate
+                    break
+
+            # --- COORD step -----------------------------------------------
+            coordinator = (self.coordinator_base + phase) % n
+            if coordinator == self.context.node_id:
+                self.context.broadcast(BBC_COORD, self._payload(phase, estimate),
+                                       size_bytes=_CONTROL_SIZE, include_self=True)
+            coord_value, decision = yield from self._await_coordinator(
+                coordinator, phase, decided_votes)
+            if decision is not None:
+                return decision
+            if coord_value is not None:
+                estimate = coord_value
+
+            # --- AUX step ---------------------------------------------------
+            self.context.broadcast(BBC_AUX, self._payload(phase, estimate),
+                                   size_bytes=_CONTROL_SIZE, include_self=True)
+            aux_values, decision = yield from self._collect(
+                BBC_AUX, phase, quorum, decided_votes)
+            if decision is not None:
+                return decision
+            aux_counts = Counter(aux_values)
+            if len(aux_counts) == 1 and sum(aux_counts.values()) >= quorum:
+                decided = next(iter(aux_counts))
+                self._announce(decided)
+                return decided
+            if aux_counts:
+                estimate = aux_counts.most_common(1)[0][0]
+
+        # Pathological fall-through: adopt the current estimate so the caller
+        # can make progress; in practice max_phases is never approached.
+        self._announce(estimate)
+        return estimate
+
+    # --------------------------------------------------------------- helpers
+    def _announce(self, value: int) -> None:
+        self.context.broadcast(BBC_DECIDED, {"tag": self.tag, "value": value},
+                               size_bytes=_CONTROL_SIZE, include_self=True)
+
+    def _check_decided(self, message, decided_votes: Counter) -> Optional[int]:
+        if message.kind != BBC_DECIDED:
+            return None
+        value = message.payload["value"]
+        certificate = message.payload.get("certificate")
+        if certificate is not None:
+            # A certificate is the unanimous vote set behind an OBBC fast
+            # decision; it is self-validating (>= n - f identical votes), so a
+            # single message suffices to terminate.
+            matching = sum(1 for vote in certificate.values() if vote == value)
+            if matching >= self.context.n_nodes - self.f:
+                self._announce(value)
+                return value
+        decided_votes[(message.sender, value)] = 1
+        tally = Counter()
+        for (sender, val) in decided_votes:
+            tally[val] += 1
+        for val, count in tally.items():
+            if count >= self.f + 1:
+                self._announce(val)
+                return val
+        return None
+
+    def _collect(self, kind: str, phase: int, quorum: int, decided_votes: Counter):
+        """Collect ``quorum`` values of ``kind`` for ``phase`` (or a decision)."""
+        values: list[int] = []
+        senders: set[int] = set()
+        while len(values) < quorum:
+            message = yield from self.context.wait_message(
+                self._matcher(kind, phase), timeout=self.phase_timeout * 4)
+            if message is None:
+                # Timed out: return what we have; the caller tolerates short
+                # collections (it only uses them for counting).
+                break
+            decision = self._check_decided(message, decided_votes)
+            if decision is not None:
+                return values, decision
+            if message.kind != kind:
+                continue
+            if message.sender in senders:
+                continue
+            senders.add(message.sender)
+            values.append(message.payload["value"])
+        return values, None
+
+    def _await_coordinator(self, coordinator: int, phase: int, decided_votes: Counter):
+        """Wait for the coordinator's value (bounded by the phase timeout)."""
+        deadline = self.context.now + self.phase_timeout
+        while True:
+            remaining = deadline - self.context.now
+            if remaining <= 0:
+                return None, None
+            message = yield from self.context.wait_message(
+                self._matcher(BBC_COORD, phase), timeout=remaining)
+            if message is None:
+                return None, None
+            decision = self._check_decided(message, decided_votes)
+            if decision is not None:
+                return None, decision
+            if message.kind == BBC_COORD and message.sender == coordinator:
+                return message.payload["value"], None

@@ -1,0 +1,127 @@
+"""Optimistic Binary Byzantine Consensus (OBBC_v), Algorithm 4 of the paper.
+
+``propose`` broadcasts the node's vote in a single message (optionally carrying
+piggybacked data — this is how FireLedger ships the next block's header with
+the current round's vote, Section 5.1).  If the first ``n - f`` votes received
+are all the favoured value, the decision completes in that single communication
+step (OBBC-Fast-Termination).  Otherwise the node requests ``evidence`` for the
+favoured value from its peers and runs the fallback
+:class:`~repro.consensus.bbc.BinaryConsensus` with an estimate adjusted by the
+evidence it saw (OBBC-Validity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.consensus.bbc import BinaryConsensus
+from repro.core.context import ProtocolContext
+
+OBBC_VOTE = "OBBC_VOTE"
+OBBC_EV_REQ = "OBBC_EV_REQ"
+OBBC_EV_RESP = "OBBC_EV_RESP"
+
+_VOTE_BASE_SIZE = 112
+_EV_REQ_SIZE = 100
+
+
+@dataclass
+class OBBCResult:
+    """Outcome of one OBBC invocation."""
+
+    decision: int
+    fast_path: bool
+    phases_used: int = 0
+    votes_seen: dict[int, int] = field(default_factory=dict)
+
+
+class OptimisticBinaryConsensus:
+    """One OBBC instance, keyed by a ``tag`` (typically ``(worker, round)``)."""
+
+    def __init__(self, context: ProtocolContext, f: int, tag: Any,
+                 coordinator_base: int = 0,
+                 evidence_validator: Optional[Callable[[Any], bool]] = None,
+                 collect_timeout: float = 1.0,
+                 fallback_phase_timeout: float = 0.05) -> None:
+        self.context = context
+        self.f = f
+        self.tag = tag
+        self.coordinator_base = coordinator_base
+        self.evidence_validator = evidence_validator or (lambda evidence: evidence is not None)
+        self.collect_timeout = collect_timeout
+        self.fallback_phase_timeout = fallback_phase_timeout
+        self.favoured_value = 1
+
+    # -------------------------------------------------------------- messaging
+    def _match_kind(self, kind: str):
+        def _match(message) -> bool:
+            return message.kind == kind and message.payload.get("tag") == self.tag
+        return _match
+
+    def broadcast_vote(self, value: int, piggyback: Any = None,
+                       piggyback_size: int = 0) -> None:
+        """Broadcast this node's vote (with optional piggybacked data)."""
+        payload = {"tag": self.tag, "value": value, "piggyback": piggyback}
+        self.context.broadcast(OBBC_VOTE, payload,
+                               size_bytes=_VOTE_BASE_SIZE + piggyback_size,
+                               include_self=True)
+
+    # ------------------------------------------------------------------- run
+    def propose(self, value: int, evidence: Any = None, piggyback: Any = None,
+                piggyback_size: int = 0):
+        """Run OBBC (process generator); returns an :class:`OBBCResult`.
+
+        ``evidence`` is this node's evidence for the favoured value (the
+        proposer's signed message, in WRB's usage); it must be ``None`` when
+        ``value`` is not the favoured value (assertions OB2/OB3).
+        """
+        if value not in (0, 1):
+            raise ValueError("OBBC values must be 0 or 1")
+        if value == self.favoured_value and not self.evidence_validator(evidence):
+            raise ValueError("favoured-value proposals require valid evidence")
+        if value != self.favoured_value and evidence is not None:
+            raise ValueError("non-favoured proposals must not carry evidence")
+
+        self.broadcast_vote(value, piggyback, piggyback_size)
+
+        # --- fast path: collect n - f votes -------------------------------
+        quorum = self.context.n_nodes - self.f
+        votes: dict[int, int] = {}
+        while len(votes) < quorum:
+            message = yield from self.context.wait_message(
+                self._match_kind(OBBC_VOTE), timeout=self.collect_timeout)
+            if message is None:
+                break
+            votes.setdefault(message.sender, message.payload["value"])
+        if len(votes) >= quorum and set(votes.values()) == {value}:
+            # Fast decision.  The unanimous vote set doubles as a certificate
+            # that lets any peer that later falls back to the full BBC
+            # terminate without our continued participation (the role of
+            # lines OB26-OB27 in Algorithm 4); the caller serves it on demand.
+            return OBBCResult(decision=value, fast_path=True, votes_seen=votes)
+
+        # --- evidence exchange (lines OB11-OB18) ---------------------------
+        self.context.broadcast(OBBC_EV_REQ, {"tag": self.tag},
+                               size_bytes=_EV_REQ_SIZE, include_self=False)
+        evidences: dict[int, Any] = {self.context.node_id: evidence}
+        while len(evidences) < quorum:
+            message = yield from self.context.wait_message(
+                self._match_kind(OBBC_EV_RESP), timeout=self.collect_timeout)
+            if message is None:
+                break
+            evidences.setdefault(message.sender, message.payload.get("evidence"))
+
+        new_value = value
+        if any(self.evidence_validator(candidate) for candidate in evidences.values()
+               if candidate is not None):
+            # Only the favoured value can have valid evidence (note at OB17).
+            new_value = self.favoured_value
+
+        fallback = BinaryConsensus(
+            self.context, self.f, tag=("bbc", self.tag),
+            coordinator_base=self.coordinator_base,
+            phase_timeout=self.fallback_phase_timeout)
+        decision = yield from fallback.propose(new_value)
+        return OBBCResult(decision=decision, fast_path=False,
+                          phases_used=fallback.phases_used, votes_seen=votes)

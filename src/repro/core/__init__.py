@@ -1,0 +1,25 @@
+"""FireLedger core: the protocol, its orchestrator and the cluster runner."""
+
+from repro.core.cluster import ClusterResult, run_fireledger_cluster
+from repro.core.config import FireLedgerConfig, max_faults
+from repro.core.context import PanicInterrupt, ProtocolContext
+from repro.core.failure_detector import BenignFailureDetector
+from repro.core.fireledger import FireLedgerWorker
+from repro.core.flo import FLONode
+from repro.core.timers import AdaptiveTimer
+from repro.core.wrb import WeakReliableBroadcast, WRBDelivery
+
+__all__ = [
+    "FireLedgerConfig",
+    "max_faults",
+    "FireLedgerWorker",
+    "FLONode",
+    "ClusterResult",
+    "run_fireledger_cluster",
+    "ProtocolContext",
+    "PanicInterrupt",
+    "AdaptiveTimer",
+    "BenignFailureDetector",
+    "WeakReliableBroadcast",
+    "WRBDelivery",
+]

@@ -1,0 +1,174 @@
+"""Cluster runner: build a FLO deployment, run it, summarise the results.
+
+This is the entry point every benchmark and example uses: it wires the
+simulation environment, network, key store and FLO nodes together, optionally
+injects crash or Byzantine faults, runs the simulation for a configured
+duration and aggregates per-node metrics into a :class:`ClusterResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import FireLedgerConfig
+from repro.core.flo import FLONode
+from repro.crypto.keys import KeyStore
+from repro.faults.byzantine import byzantine_worker_factory
+from repro.faults.crash import CrashSchedule
+from repro.metrics.recorder import (
+    EVENT_BLOCK_PROPOSAL,
+    EVENT_FLO_DELIVERY,
+    EVENT_TENTATIVE_DECISION,
+    MetricsRecorder,
+)
+from repro.metrics.summary import LatencySummary, ThroughputSummary
+from repro.net.faults import FaultController
+from repro.net.latency import GeoDistributedLatency, LatencyModel, SingleDatacenterLatency
+from repro.net.network import Network, NetworkStats
+from repro.sim import Environment
+
+
+@dataclass
+class ClusterResult:
+    """Aggregated outcome of one cluster run."""
+
+    config: FireLedgerConfig
+    duration: float
+    throughput: ThroughputSummary
+    latency: LatencySummary
+    per_node_tps: list[float]
+    per_node_bps: list[float]
+    breakdown: dict[str, float]
+    recoveries: int
+    recoveries_per_second: float
+    fast_path_rounds: int
+    fallback_rounds: int
+    failed_rounds: int
+    network: NetworkStats
+    recorders: list[MetricsRecorder] = field(default_factory=list, repr=False)
+    nodes: list[FLONode] = field(default_factory=list, repr=False)
+
+    @property
+    def tps(self) -> float:
+        """Average transactions per second over correct nodes."""
+        return self.throughput.tps
+
+    @property
+    def bps(self) -> float:
+        """Average blocks per second over correct nodes."""
+        return self.throughput.bps
+
+
+def run_fireledger_cluster(config: FireLedgerConfig,
+                           duration: float = 3.0,
+                           warmup: float = 0.5,
+                           seed: int = 0,
+                           latency_model: Optional[LatencyModel] = None,
+                           geo_distributed: bool = False,
+                           crash_schedule: Optional[CrashSchedule] = None,
+                           byzantine_nodes: Optional[frozenset[int]] = None,
+                           fault_controller: Optional[FaultController] = None,
+                           latency_trim: float = 0.0) -> ClusterResult:
+    """Build, run and summarise one FLO cluster.
+
+    Parameters mirror the paper's evaluation levers: ``config`` carries the
+    Table 2 parameters, ``geo_distributed`` switches to the ten-region latency
+    matrix of Section 7.5, ``crash_schedule`` and ``byzantine_nodes`` reproduce
+    Sections 7.4.1/7.4.2, ``warmup`` excludes start-up effects from the
+    measured window (the paper measures after the faulty nodes crash).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if warmup < 0 or warmup >= duration:
+        raise ValueError("warmup must be within [0, duration)")
+
+    rng = random.Random(seed)
+    env = Environment()
+    if latency_model is None:
+        latency_model = (GeoDistributedLatency() if geo_distributed
+                         else SingleDatacenterLatency())
+    network = Network(env, config.n_nodes, latency_model=latency_model,
+                      machine=config.machine,
+                      rng=random.Random(rng.randrange(2 ** 62)),
+                      fault_controller=fault_controller)
+    keystore = KeyStore(config.n_nodes)
+
+    worker_factory = None
+    if byzantine_nodes:
+        worker_factory = byzantine_worker_factory(frozenset(byzantine_nodes))
+
+    nodes = [
+        FLONode(env, network, node_id, config, keystore,
+                rng=random.Random(rng.randrange(2 ** 62)),
+                worker_factory=worker_factory)
+        for node_id in range(config.n_nodes)
+    ]
+    for node in nodes:
+        node.recorder.measure_start = warmup
+        node.start()
+
+    if crash_schedule is not None:
+        crash_schedule.install(env, network)
+
+    env.run(until=duration)
+
+    excluded = set()
+    if crash_schedule is not None:
+        excluded |= set(crash_schedule.crashed_nodes)
+    if byzantine_nodes:
+        excluded |= set(byzantine_nodes)
+    correct_nodes = [node for node in nodes if node.node_id not in excluded]
+    if not correct_nodes:
+        correct_nodes = nodes
+
+    per_node_tps = []
+    per_node_bps = []
+    summaries = []
+    latency_samples: list[float] = []
+    breakdown_totals: dict[str, float] = {}
+    breakdown_counts: dict[str, int] = {}
+    recoveries = 0
+    fast_path = fallback = failed = 0
+
+    for node in correct_nodes:
+        recorder = node.recorder
+        tps = recorder.throughput_tps(duration, event=EVENT_FLO_DELIVERY)
+        bps = recorder.throughput_bps(duration, event=EVENT_TENTATIVE_DECISION)
+        rps = recorder.recoveries_per_second(duration)
+        per_node_tps.append(tps)
+        per_node_bps.append(bps)
+        summaries.append(ThroughputSummary(tps=tps, bps=bps, recoveries_per_second=rps))
+        latency_samples.extend(recorder.latency_samples(
+            EVENT_BLOCK_PROPOSAL, EVENT_FLO_DELIVERY))
+        for key, value in recorder.breakdown().items():
+            breakdown_totals[key] = breakdown_totals.get(key, 0.0) + value
+            breakdown_counts[key] = breakdown_counts.get(key, 0) + 1
+        recoveries += len(recorder.recoveries)
+        fast_path += recorder.fast_path_rounds
+        fallback += recorder.fallback_rounds
+        failed += recorder.failed_rounds
+
+    throughput = ThroughputSummary.average(summaries)
+    latency = LatencySummary.from_samples(latency_samples, trim_extreme_fraction=latency_trim)
+    breakdown = {key: breakdown_totals[key] / breakdown_counts[key]
+                 for key in breakdown_totals}
+
+    return ClusterResult(
+        config=config,
+        duration=duration,
+        throughput=throughput,
+        latency=latency,
+        per_node_tps=per_node_tps,
+        per_node_bps=per_node_bps,
+        breakdown=breakdown,
+        recoveries=recoveries,
+        recoveries_per_second=throughput.recoveries_per_second,
+        fast_path_rounds=fast_path,
+        fallback_rounds=fallback,
+        failed_rounds=failed,
+        network=network.stats,
+        recorders=[node.recorder for node in nodes],
+        nodes=nodes,
+    )

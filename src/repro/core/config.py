@@ -1,0 +1,92 @@
+"""Configuration of a FireLedger / FLO deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.cost_model import M5_XLARGE, MachineSpec
+
+
+def max_faults(n_nodes: int) -> int:
+    """The largest ``f`` with ``f < n/3`` (the paper's resiliency bound)."""
+    if n_nodes < 4:
+        raise ValueError("Byzantine fault tolerance requires at least 4 nodes")
+    return (n_nodes - 1) // 3
+
+
+@dataclass(frozen=True)
+class FireLedgerConfig:
+    """All tunables of one cluster (Table 2 plus implementation knobs)."""
+
+    #: Cluster size ``n`` (Table 2: 4, 7 or 10; 100 in the scalability test).
+    n_nodes: int = 4
+    #: Resiliency ``f``; defaults to the maximum allowed by ``n``.
+    f: int = -1
+    #: Number of FireLedger workers per FLO node (Table 2: 1..10).
+    workers: int = 1
+    #: Transactions per block (Table 2: 10, 100 or 1000).
+    batch_size: int = 100
+    #: Transaction size in bytes (Table 2: 512, 1024 or 4096).
+    tx_size: int = 512
+    #: VM class the nodes run on.
+    machine: MachineSpec = field(default=M5_XLARGE)
+
+    # --- WRB / OBBC timers ------------------------------------------------
+    #: Initial WRB delivery timer (tau); adapted by the EMA rule afterwards.
+    initial_timer: float = 0.5
+    #: EMA window N of Section 6.1.1.
+    timer_ema_window: int = 10
+    #: Safety multiplier applied on top of the EMA estimate.
+    timer_multiplier: float = 4.0
+    #: Lower/upper clamps on the adaptive timer.
+    min_timer: float = 0.05
+    max_timer: float = 4.0
+    #: Phase timeout of the fallback binary consensus.
+    fallback_phase_timeout: float = 0.05
+    #: Timeout of the recovery atomic broadcast before a view change.
+    recovery_timeout: float = 0.5
+
+    # --- optimisations (Section 6.1.1) -------------------------------------
+    #: Separate the data path (block bodies) from the consensus path (headers).
+    separate_headers: bool = True
+    #: Maximum bodies disseminated but not yet consumed by a proposal.
+    max_outstanding_bodies: int = 2
+    #: Flow control (Section 7.2): when the data-path backlog on this node's
+    #: NIC exceeds this many seconds, the proposer publishes an empty block
+    #: instead of pushing yet another full body into an overloaded network.
+    flow_control_backlog: float = 0.05
+    #: Enable the benign failure detector.
+    failure_detector: bool = True
+    #: Suspicion threshold in timed-out rounds before a node is suspected.
+    suspect_after_timeouts: int = 2
+    #: Re-draw the proposer permutation every this many rounds (0 = plain
+    #: round-robin, the default).
+    permute_every: int = 0
+
+    # --- workload -----------------------------------------------------------
+    #: Saturated-load mode: top up every block with synthetic transactions.
+    fill_blocks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 4:
+            raise ValueError("FireLedger requires n >= 4 (f >= 1)")
+        if self.f < 0:
+            object.__setattr__(self, "f", max_faults(self.n_nodes))
+        if not 1 <= self.f or not 3 * self.f < self.n_nodes:
+            raise ValueError(
+                f"resiliency must satisfy 1 <= f < n/3 (n={self.n_nodes}, f={self.f})")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.tx_size < 1:
+            raise ValueError("tx_size must be >= 1")
+
+    @property
+    def finality_depth(self) -> int:
+        """Blocks stay tentative for ``f + 1`` rounds (BBFC(f + 1))."""
+        return self.f + 1
+
+    def with_overrides(self, **overrides) -> "FireLedgerConfig":
+        """Copy of the config with selected fields replaced."""
+        return replace(self, **overrides)

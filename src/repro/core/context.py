@@ -1,0 +1,201 @@
+"""Protocol execution context.
+
+Every protocol module (WRB, OBBC, BBC, FireLedger itself, the baselines) talks
+to the outside world through a :class:`ProtocolContext`: it sends and receives
+messages on one channel of the shared network, charges CPU time to the node's
+core pool, and exposes *interruptible* waits.  Interruptibility reproduces the
+paper's "panic thread": when a valid inconsistency proof is reliably delivered
+while the main protocol is blocked waiting for traffic, the wait raises
+:class:`PanicInterrupt` so the caller can abandon the round and run the
+recovery procedure (Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+from repro.net.network import Network
+from repro.sim import Environment, Store
+
+
+class PanicInterrupt(Exception):
+    """Raised inside a blocked protocol wait when a panic is pending."""
+
+    def __init__(self, panic: Any = None) -> None:
+        super().__init__("panic interrupt")
+        self.panic = panic
+
+
+class ProtocolContext:
+    """Messaging, CPU accounting and interruptible waits for one protocol.
+
+    Parameters
+    ----------
+    env, network:
+        The simulation environment and the shared cluster network.
+    node_id:
+        The local node.
+    channel:
+        Channel name namespacing this protocol's traffic.
+    inbox:
+        Store receiving this channel's round-trip traffic (filled by the node's
+        dispatcher).
+    rng:
+        Per-node deterministic random source.
+    interrupt_check:
+        Optional callable returning a truthy "panic" object when the protocol
+        should abandon its current wait.
+    """
+
+    def __init__(self, env: Environment, network: Network, node_id: int,
+                 channel: str, inbox: Optional[Store] = None,
+                 rng: Optional[random.Random] = None,
+                 interrupt_check: Optional[Callable[[], Any]] = None) -> None:
+        self.env = env
+        self.network = network
+        self.node_id = node_id
+        self.channel = channel
+        self.inbox = inbox if inbox is not None else Store(env)
+        self.rng = rng or random.Random(node_id)
+        self.interrupt_check = interrupt_check
+        #: Event triggered whenever a panic becomes pending; waits watch it.
+        self._wake_event = env.event()
+        self.signature_operations = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.env.now
+
+    @property
+    def n_nodes(self) -> int:
+        """Cluster size."""
+        return self.network.n_nodes
+
+    # ------------------------------------------------------------------ wake
+    def notify_interrupt(self) -> None:
+        """Wake any blocked wait so it can re-check the interrupt condition."""
+        if not self._wake_event.triggered:
+            self._wake_event.succeed()
+        self._wake_event = self.env.event()
+
+    def _pending_interrupt(self) -> Any:
+        if self.interrupt_check is None:
+            return None
+        return self.interrupt_check()
+
+    # ----------------------------------------------------------------- sends
+    def send(self, receiver: int, kind: str, payload: Any,
+             size_bytes: int = MESSAGE_OVERHEAD_BYTES) -> None:
+        """Send one message on this context's channel."""
+        self.network.send(self.node_id, receiver, self.channel, kind, payload, size_bytes)
+
+    def broadcast(self, kind: str, payload: Any,
+                  size_bytes: int = MESSAGE_OVERHEAD_BYTES,
+                  include_self: bool = False) -> None:
+        """Broadcast a message to every other node on this channel."""
+        self.network.broadcast(self.node_id, self.channel, kind, payload,
+                               size_bytes, include_self=include_self)
+
+    # ------------------------------------------------------------------- cpu
+    def use_cpu(self, duration: float):
+        """Process helper charging ``duration`` seconds of one CPU core."""
+        if duration <= 0:
+            return
+        endpoint = self.network.endpoint(self.node_id)
+        yield from endpoint.cpu.use(duration)
+
+    def count_signature(self, operations: int = 1) -> None:
+        """Record asymmetric signature operations (Table 1 accounting)."""
+        self.signature_operations += operations
+
+    # ----------------------------------------------------------------- waits
+    def wait_message(self, predicate: Callable[[Message], bool],
+                     timeout: Optional[float] = None):
+        """Wait for a matching message; return it, or ``None`` on timeout.
+
+        Raises :class:`PanicInterrupt` if the interrupt check fires while
+        waiting (or is already pending on entry).
+        """
+        panic = self._pending_interrupt()
+        if panic:
+            raise PanicInterrupt(panic)
+        deadline = None if timeout is None else self.env.now + timeout
+        while True:
+            get_event = self.inbox.get(predicate)
+            waits = [get_event, self._wake_event]
+            if deadline is not None:
+                remaining = max(0.0, deadline - self.env.now)
+                waits.append(self.env.timeout(remaining))
+            result = yield self.env.any_of(waits)
+            if get_event in result:
+                message = result[get_event]
+                # Handling a control message costs CPU on the receiving
+                # worker's thread (deserialisation, dispatch, bookkeeping).
+                yield from self.use_cpu(self.network.machine.message_processing_cpu)
+                return message
+            # The get is still registered with the store; withdraw it so a
+            # later message does not vanish into an abandoned event.
+            self._withdraw_getter(get_event)
+            panic = self._pending_interrupt()
+            if panic:
+                raise PanicInterrupt(panic)
+            if deadline is not None and self.env.now >= deadline:
+                return None
+            # Otherwise we were woken spuriously; loop and wait again.
+
+    def collect_messages(self, predicate: Callable[[Message], bool], count: int,
+                         timeout: Optional[float] = None):
+        """Collect up to ``count`` matching messages (stops early on timeout)."""
+        collected: list[Message] = []
+        deadline = None if timeout is None else self.env.now + timeout
+        while len(collected) < count:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - self.env.now)
+            message = yield from self.wait_message(predicate, timeout=remaining)
+            if message is None:
+                break
+            collected.append(message)
+        return collected
+
+    def sleep(self, duration: float):
+        """Interruptible sleep."""
+        panic = self._pending_interrupt()
+        if panic:
+            raise PanicInterrupt(panic)
+        result = yield self.env.any_of([self.env.timeout(duration), self._wake_event])
+        panic = self._pending_interrupt()
+        if panic:
+            raise PanicInterrupt(panic)
+        return result
+
+    # -------------------------------------------------------------- internal
+    def _withdraw_getter(self, get_event) -> None:
+        """Remove an unsatisfied getter from the inbox (avoids losing messages)."""
+        if get_event.triggered:
+            # The message arrived between the AnyOf firing and now: requeue it
+            # so the next wait sees it.
+            self.inbox.put(get_event.value)
+            return
+        self.inbox._getters = type(self.inbox._getters)(  # noqa: SLF001
+            (event, pred) for event, pred in self.inbox._getters  # noqa: SLF001
+            if event is not get_event
+        )
+
+    def purge_inbox(self, predicate: Callable[[Message], bool]) -> int:
+        """Drop buffered messages matching ``predicate``; returns the count."""
+        kept = []
+        dropped = 0
+        for item in self.inbox.items:
+            if predicate(item):
+                dropped += 1
+            else:
+                kept.append(item)
+        self.inbox.clear()
+        for item in kept:
+            self.inbox.put(item)
+        return dropped

@@ -1,0 +1,764 @@
+"""The FireLedger protocol node (Algorithms 2 and 3 of the paper).
+
+One :class:`FireLedgerWorker` is a single FireLedger instance running at one
+node — FLO (Section 6.2) runs several of them side by side.  The worker owns
+its local blockchain, transaction pool, WRB endpoint, the reactive reliable /
+atomic broadcast endpoints used by the panic path, and the main round loop:
+
+* pick the round's proposer (skipping anyone who proposed within the last
+  ``f`` rounds);
+* if it is this node's turn and the previous delivery failed, WRB-broadcast a
+  block explicitly; otherwise the next proposer piggybacks its header on its
+  OBBC vote for the current round;
+* WRB-deliver the proposer's header (the body travels on the data path and is
+  required before voting for delivery);
+* validate the delivered header against the local chain; an inconsistency is
+  reliably broadcast as a *panic proof* and triggers the recovery procedure;
+* append the block, promote the block at depth ``f + 2`` to *definite*.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.broadcast.atomic import AB_KINDS, AtomicBroadcast
+from repro.broadcast.reliable import RB_KINDS, ReliableBroadcast
+from repro.consensus.obbc import OBBC_EV_REQ, OBBC_EV_RESP
+from repro.core.config import FireLedgerConfig
+from repro.core.context import PanicInterrupt, ProtocolContext
+from repro.core.failure_detector import BenignFailureDetector
+from repro.core.timers import AdaptiveTimer
+from repro.core.wrb import WRB_HEADER, WRB_PULL_REQ, WRB_PULL_RESP, WeakReliableBroadcast
+from repro.crypto.cost_model import CryptoCostModel
+from repro.crypto.keys import KeyStore
+from repro.crypto.vrf import proposer_permutation
+from repro.ledger.block import Block, BlockHeader, header_for_batch
+from repro.ledger.chain import Blockchain, ChainVersion
+from repro.ledger.transaction import Batch, Transaction
+from repro.ledger.txpool import TxPool
+from repro.ledger.validation import distinct_proposers_window, is_valid_block
+from repro.metrics.recorder import (
+    EVENT_BLOCK_PROPOSAL,
+    EVENT_DEFINITE_DECISION,
+    EVENT_HEADER_PROPOSAL,
+    EVENT_TENTATIVE_DECISION,
+    MetricsRecorder,
+)
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim import Environment, Store
+
+BODY = "BODY"
+BODY_REQ = "BODY_REQ"
+BODY_RESP = "BODY_RESP"
+OBBC_VOTE = "OBBC_VOTE"
+
+
+class FireLedgerWorker:
+    """One FireLedger instance at one node."""
+
+    def __init__(self, env: Environment, network: Network, node_id: int,
+                 worker_id: int, config: FireLedgerConfig, keystore: KeyStore,
+                 recorder: Optional[MetricsRecorder] = None,
+                 rng: Optional[random.Random] = None,
+                 on_definite: Optional[Callable[[int, Block, float], None]] = None,
+                 channel_prefix: str = "fl") -> None:
+        self.env = env
+        self.network = network
+        self.node_id = node_id
+        self.worker_id = worker_id
+        self.config = config
+        self.keystore = keystore
+        self.keys = keystore.key_for(node_id)
+        self.recorder = recorder or MetricsRecorder(node_id)
+        self.rng = rng or random.Random(node_id * 1009 + worker_id)
+        self.on_definite = on_definite
+        self.channel = f"{channel_prefix}/{worker_id}"
+
+        self.cost = CryptoCostModel(config.machine)
+        self.chain = Blockchain(config.finality_depth, worker_id)
+        self.txpool = TxPool(config.tx_size, self.rng)
+        self.timer = AdaptiveTimer(config.initial_timer, config.timer_ema_window,
+                                   config.timer_multiplier, config.min_timer,
+                                   config.max_timer)
+        self.detector = BenignFailureDetector(config.n_nodes, config.f,
+                                              config.suspect_after_timeouts,
+                                              enabled=config.failure_detector)
+        self.context = ProtocolContext(env, network, node_id, self.channel,
+                                       inbox=Store(env), rng=self.rng,
+                                       interrupt_check=self._pending_panic)
+        self.wrb = WeakReliableBroadcast(
+            self.context, config.f, self.timer,
+            payload_validator=self._validate_signed_header,
+            acceptance_check=self._await_body if config.separate_headers else None,
+            fallback_phase_timeout=config.fallback_phase_timeout)
+        self.rb = ReliableBroadcast(network, node_id, self.channel, config.f,
+                                    self._on_panic_delivered)
+        self.ab = AtomicBroadcast(env, network, node_id, self.channel, config.f,
+                                  self._on_version_delivered,
+                                  request_timeout=config.recovery_timeout)
+
+        # --- data path state -------------------------------------------------
+        self._bodies: dict[str, Batch] = {}
+        self._body_events: dict[str, Any] = {}
+        self._ready_bodies: deque[str] = deque()
+        self._body_ready_at: dict[str, float] = {}
+        self._evidence_by_round: dict[int, dict] = {}
+        self._fast_certs: dict[int, dict] = {}
+
+        # --- round state ------------------------------------------------------
+        self.round = 0
+        self.schedule = list(range(config.n_nodes))
+        self.proposer_pointer = 0
+        self.full_mode = True
+        self.recent_proposers: deque[int] = deque(maxlen=max(config.f, 1))
+        self._last_definite_emitted = -1
+
+        # --- recovery state ---------------------------------------------------
+        self._pending_panics: list[tuple[int, dict]] = []
+        self._version_log: list[tuple[int, int, ChainVersion]] = []
+        self._version_seq = 0
+        self._version_watermark = -1
+        self._version_event = env.event()
+        self.recovery_count = 0
+        self._recovered_through = -1
+
+        # --- counters ---------------------------------------------------------
+        self.signatures_created = 0
+        self.signatures_verified = 0
+        self.empty_blocks_proposed = 0
+
+    # ======================================================================
+    # message dispatch (called synchronously by the node's router)
+    # ======================================================================
+    def dispatch(self, message: Message) -> None:
+        """Route one incoming message for this worker's channel."""
+        kind = message.kind
+        if kind in RB_KINDS:
+            self.rb.on_message(message)
+            return
+        if kind in AB_KINDS:
+            self.ab.on_message(message)
+            return
+        if kind == BODY or kind == BODY_RESP:
+            self._on_body(message)
+            return
+        if kind == BODY_REQ:
+            self._serve_body(message)
+            return
+        if kind == OBBC_EV_REQ:
+            self._serve_evidence(message)
+            self._serve_fast_certificate(message)
+            return
+        if kind == WRB_PULL_REQ:
+            self._serve_pull(message)
+            return
+        if kind == OBBC_VOTE:
+            piggyback = message.payload.get("piggyback")
+            if piggyback is not None:
+                self._ingest_piggyback(message.sender, piggyback)
+        if kind.startswith("BBC_") and kind != "BBC_DECIDED":
+            self._serve_fast_certificate(message)
+        self.context.inbox.put(message)
+
+    def _ingest_piggyback(self, sender: int, piggyback: dict) -> None:
+        """Re-file a piggybacked header as a synthetic WRB HEADER message."""
+        synthetic = Message(sender=sender, receiver=self.node_id,
+                            channel=self.channel, kind=WRB_HEADER,
+                            payload={"round": piggyback["round"],
+                                     "payload": piggyback["payload"]},
+                            sent_at=self.env.now)
+        synthetic.delivered_at = self.env.now
+        self.context.inbox.put(synthetic)
+
+    # ----------------------------------------------------------- data path
+    def _on_body(self, message: Message) -> None:
+        payload = message.payload
+        root = payload["root"]
+        if root in self._bodies:
+            return
+        self.env.process(self._verify_and_store_body(root, payload["batch"]))
+
+    def _verify_and_store_body(self, root: str, batch: Batch):
+        # Re-hashing the transactions to check the Merkle root is the
+        # receiver-side share of the Figure 5 cost model.
+        yield from self.context.use_cpu(self.cost.hash_time(batch.size_bytes))
+        if batch.root != root:
+            return  # corrupted body; ignore it
+        self._bodies[root] = batch
+        event = self._body_events.pop(root, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def has_body(self, root: str) -> bool:
+        """Whether the body with Merkle root ``root`` has been received."""
+        return root in self._bodies
+
+    def _body_event(self, root: str):
+        if root in self._bodies:
+            event = self.env.event()
+            event.succeed()
+            return event
+        return self._body_events.setdefault(root, self.env.event())
+
+    def _serve_body(self, message: Message) -> None:
+        root = message.payload.get("root")
+        batch = self._bodies.get(root)
+        if batch is None:
+            return
+        self.network.send(self.node_id, message.sender, self.channel, BODY_RESP,
+                          {"root": root, "batch": batch}, batch.size_bytes + 64)
+
+    def _serve_evidence(self, message: Message) -> None:
+        round_number = message.payload.get("tag")
+        evidence = self._evidence_by_round.get(round_number)
+        size = 128 if evidence is None else 128 + 256
+        self.network.send(self.node_id, message.sender, self.channel, OBBC_EV_RESP,
+                          {"tag": round_number, "evidence": evidence}, size)
+
+    def _serve_fast_certificate(self, message: Message) -> None:
+        """Answer a fallback participant with the fast-path decision certificate.
+
+        If this node already decided a round on the OBBC fast path and a peer
+        is running the fallback BBC for that round (we see its BBC traffic or
+        its evidence request), reply with the unanimous vote set so the peer
+        can terminate — the lazily-served equivalent of Algorithm 4's
+        lines OB26-OB27.
+        """
+        payload = message.payload
+        if not isinstance(payload, dict):
+            return
+        tag = payload.get("tag")
+        round_number = None
+        if isinstance(tag, int):
+            round_number = tag
+        elif isinstance(tag, tuple) and len(tag) == 2 and isinstance(tag[1], int):
+            round_number = tag[1]
+        if round_number is None:
+            return
+        certificate = self._fast_certs.get(round_number)
+        if certificate is None:
+            return
+        served = certificate.setdefault("served_to", set())
+        if message.sender in served:
+            return
+        served.add(message.sender)
+        self.network.send(self.node_id, message.sender, self.channel, "BBC_DECIDED",
+                          {"tag": ("bbc", round_number),
+                           "value": certificate["value"],
+                           "certificate": certificate["votes"]},
+                          size_bytes=128 + 16 * len(certificate["votes"]))
+
+    def _serve_pull(self, message: Message) -> None:
+        round_number = message.payload.get("round")
+        evidence = self._evidence_by_round.get(round_number)
+        if evidence is None:
+            return
+        self.network.send(self.node_id, message.sender, self.channel, WRB_PULL_RESP,
+                          {"round": round_number, "payload": evidence}, 128 + 256)
+
+    # ======================================================================
+    # proposing
+    # ======================================================================
+    def _charge_background(self, duration: float) -> None:
+        """Consume CPU time without blocking the caller (data-path work)."""
+        if duration <= 0:
+            return
+        self.env.process(self.context.use_cpu(duration))
+
+    def _prepare_body(self) -> str:
+        """Assemble a transaction batch, compute its root and disseminate it."""
+        batch = self.txpool.take_batch(self.config.batch_size, now=self.env.now,
+                                       fill_random=self.config.fill_blocks)
+        root = batch.root
+        self._charge_background(self.cost.hash_time(batch.size_bytes))
+        self._bodies[root] = batch
+        event = self._body_events.pop(root, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+        self._ready_bodies.append(root)
+        if self.config.separate_headers:
+            self._disseminate_body(root, batch)
+            # The body may be proposed once its dissemination has drained from
+            # this node's egress queue (flow control, Section 7.2).
+            endpoint = self.network.endpoint(self.node_id)
+            self._body_ready_at[root] = endpoint.bulk_egress_completion
+        else:
+            self._body_ready_at[root] = self.env.now
+        return root
+
+    def _disseminate_body(self, root: str, batch: Batch) -> None:
+        self.network.broadcast(self.node_id, self.channel, BODY,
+                               {"root": root, "batch": batch},
+                               batch.size_bytes + 64)
+
+    def prime_bodies(self):
+        """Process: pre-disseminate the first block body (data path warm-up).
+
+        Workers stagger their first dissemination slightly so that a node
+        starting ``workers`` instances does not flood its NIC with every
+        initial body at the same instant (the paper's flow control plays the
+        same role at start-up).
+        """
+        yield self.env.timeout(self.worker_id * 0.002)
+        self._prepare_body()
+
+    def _next_ready_root(self):
+        """Root of the next body to propose (refilling the pipeline)."""
+        while not self._ready_bodies:
+            self._prepare_body()
+        if len(self._ready_bodies) < self.config.max_outstanding_bodies:
+            self._prepare_body()
+        return self._ready_bodies[0]
+
+    def _maybe_restock_bodies(self) -> None:
+        """Prepare another body when the pipeline and the NIC have room."""
+        endpoint = self.network.endpoint(self.node_id)
+        if (len(self._ready_bodies) < self.config.max_outstanding_bodies
+                and endpoint.nic_backlog <= self.config.flow_control_backlog):
+            self._prepare_body()
+
+    def _consume_ready_root(self, root: str) -> None:
+        if self._ready_bodies and self._ready_bodies[0] == root:
+            self._ready_bodies.popleft()
+            self._body_ready_at.pop(root, None)
+        self._maybe_restock_bodies()
+
+    def _select_proposal_batch(self) -> Batch:
+        """Pick the batch for this proposal, honouring flow control.
+
+        A full body is proposed only if its dissemination has already drained
+        from the egress queue; otherwise the round carries an empty block so
+        that the chain keeps moving while the data path catches up
+        (Section 7.2's flow control).
+        """
+        if not self.config.separate_headers:
+            return self._bodies[self._next_ready_root()]
+        self._maybe_restock_bodies()
+        if self._ready_bodies:
+            root = self._ready_bodies[0]
+            if self._body_ready_at.get(root, 0.0) <= self.env.now:
+                return self._bodies[root]
+        self.empty_blocks_proposed += 1
+        return Batch()
+
+    def _make_header(self, round_number: int, previous_digest: str) -> dict:
+        """Create and sign the header for ``round_number`` on top of ``previous_digest``."""
+        batch = self._select_proposal_batch()
+        header = header_for_batch(round_number, self.node_id, previous_digest,
+                                  batch, worker_id=self.worker_id,
+                                  created_at=self.env.now)
+        signature = self.keys.sign(header.digest)
+        self._charge_background(self.cost.sign_time(0))
+        self.signatures_created += 1
+        self.recorder.signature_operations += 1
+        payload = {"header": header, "signature": signature}
+        self._evidence_by_round[round_number] = payload
+        self.recorder.record_event(self.worker_id, round_number,
+                                   EVENT_BLOCK_PROPOSAL, header.created_at,
+                                   tx_count=header.tx_count)
+        self.recorder.record_event(self.worker_id, round_number,
+                                   EVENT_HEADER_PROPOSAL, self.env.now)
+        return payload
+
+    # ======================================================================
+    # validation hooks used by WRB / OBBC
+    # ======================================================================
+    def _validate_signed_header(self, round_number: int, proposer: int,
+                                payload: Any) -> bool:
+        """Synchronous signature/identity validation of a header payload."""
+        if not isinstance(payload, dict):
+            return False
+        header = payload.get("header")
+        signature = payload.get("signature")
+        if header is None or signature is None:
+            return False
+        if header.round_number != round_number or header.proposer != proposer:
+            return False
+        if header.worker_id != self.worker_id:
+            return False
+        return self.keystore.verify(signature, proposer, header.digest)
+
+    def _await_body(self, payload: Any, deadline: float):
+        """Generator acceptance check: charge verification CPU, wait for the body."""
+        header = payload["header"]
+        yield from self.context.use_cpu(self.cost.verify_time(0))
+        self.signatures_verified += 1
+        if not self.config.separate_headers or header.tx_count == 0:
+            self.recorder.record_event(self.worker_id, header.round_number,
+                                       EVENT_BLOCK_PROPOSAL, self.env.now,
+                                       tx_count=header.tx_count)
+            self.recorder.record_event(self.worker_id, header.round_number,
+                                       EVENT_HEADER_PROPOSAL, self.env.now)
+            return True
+        if self.has_body(header.tx_root):
+            self.recorder.record_event(self.worker_id, header.round_number,
+                                       EVENT_BLOCK_PROPOSAL, self.env.now,
+                                       tx_count=header.tx_count)
+            self.recorder.record_event(self.worker_id, header.round_number,
+                                       EVENT_HEADER_PROPOSAL, self.env.now)
+            return True
+        remaining = deadline - self.env.now
+        if remaining <= 0:
+            return False
+        event = self._body_event(header.tx_root)
+        yield self.env.any_of([event, self.env.timeout(remaining)])
+        available = self.has_body(header.tx_root)
+        if available:
+            self.recorder.record_event(self.worker_id, header.round_number,
+                                       EVENT_BLOCK_PROPOSAL, self.env.now,
+                                       tx_count=header.tx_count)
+            self.recorder.record_event(self.worker_id, header.round_number,
+                                       EVENT_HEADER_PROPOSAL, self.env.now)
+        return available
+
+    # ======================================================================
+    # panic / recovery plumbing
+    # ======================================================================
+    def _pending_panic(self):
+        if self._pending_panics:
+            return self._pending_panics[-1]
+        return None
+
+    def _on_panic_delivered(self, origin: int, tag: Any, proof: dict) -> None:
+        if not self._valid_proof(proof):
+            return
+        round_number = proof["round"]
+        if round_number <= self._last_recovered_round():
+            return
+        self._pending_panics.append((round_number, proof))
+        self.context.notify_interrupt()
+
+    def _last_recovered_round(self) -> int:
+        return getattr(self, "_recovered_through", -1)
+
+    def _valid_proof(self, proof: Any) -> bool:
+        """Check a panic proof: two validly signed, conflicting headers."""
+        if not isinstance(proof, dict):
+            return False
+        first = proof.get("received")
+        second = proof.get("local")
+        round_number = proof.get("round")
+        if first is None or second is None or round_number is None:
+            return False
+        for item in (first, second):
+            header = item.get("header")
+            signature = item.get("signature")
+            if header is None:
+                return False
+            if header.proposer < 0:
+                continue  # genesis needs no signature
+            if signature is None:
+                return False
+            if not self.keystore.verify(signature, header.proposer, header.digest):
+                return False
+        return True
+
+    def _on_version_delivered(self, origin: int, payload: Any) -> None:
+        if not isinstance(payload, dict) or payload.get("type") != "version":
+            return
+        version = ChainVersion(sender=origin, blocks=tuple(payload["blocks"]))
+        self._version_seq += 1
+        self._version_log.append((self._version_seq, origin, version))
+        if not self._version_event.triggered:
+            self._version_event.succeed()
+        self._version_event = self.env.event()
+        # Seeing a peer's recovery version means a recovery wave is under way;
+        # join it even if this node's own proof threshold did not fire, so the
+        # wave collects its n - f versions promptly and no participant stalls.
+        recovery_round = payload.get("recovery_round", -1)
+        if recovery_round > self._recovered_through and not self._pending_panics:
+            self._pending_panics.append((recovery_round, {"joined": origin}))
+            self.context.notify_interrupt()
+
+    # ======================================================================
+    # the main round loop (Algorithm 2)
+    # ======================================================================
+    def run(self):
+        """The worker's main process."""
+        yield from self.prime_bodies()
+        while True:
+            if self.network.is_crashed(self.node_id):
+                return
+            try:
+                if self._pending_panics:
+                    yield from self._recover()
+                    continue
+                yield from self._run_round()
+            except PanicInterrupt:
+                yield from self._recover()
+
+    def _current_proposer(self) -> int:
+        return self.schedule[self.proposer_pointer % len(self.schedule)]
+
+    def _advance_proposer(self) -> None:
+        self.proposer_pointer += 1
+
+    def _skip_recent_proposers(self) -> bool:
+        """Algorithm 2, lines b1-b3; returns whether anyone was skipped."""
+        skipped = False
+        guard = 0
+        while self._current_proposer() in self.recent_proposers:
+            self._advance_proposer()
+            skipped = True
+            guard += 1
+            if guard > len(self.schedule):
+                break
+        return skipped
+
+    def _refresh_schedule(self) -> None:
+        """Optionally re-draw the proposer permutation from a definite block hash."""
+        every = self.config.permute_every
+        if every <= 0 or self.round == 0 or self.round % every != 0:
+            return
+        seed_round = self.round - 2 * (self.config.f + 2)
+        seed_block = self.chain.block_at_round(seed_round)
+        if seed_block is None or not self.chain.is_definite(seed_round):
+            return
+        self.schedule = proposer_permutation(self.config.n_nodes, seed_block.digest)
+
+    def _run_round(self):
+        round_number = self.round
+        self._refresh_schedule()
+        if self._skip_recent_proposers():
+            self.detector.invalidate()
+        proposer = self._current_proposer()
+
+        # Full mode: the proposer pushes its block explicitly because the
+        # previous iteration delivered nil (or this is the first round).
+        if proposer == self.node_id and self.full_mode:
+            payload = self._make_header(round_number, self.chain.head.digest)
+            if not self.config.separate_headers:
+                self._disseminate_body(payload["header"].tx_root,
+                                       self._bodies[payload["header"].tx_root])
+            self.wrb.broadcast(round_number, payload)
+
+        # Piggyback: the *next* proposer ships its header for round r+1 on its
+        # OBBC vote for round r.
+        next_proposer = self.schedule[(self.proposer_pointer + 1) % len(self.schedule)]
+        piggyback_provider = None
+        if next_proposer == self.node_id:
+            piggyback_provider = self._piggyback_provider(round_number)
+
+        skip_wait = (self.detector.is_suspected(proposer)
+                     and proposer != self.node_id)
+        delivery = yield from self.wrb.deliver(round_number, proposer,
+                                               piggyback_provider=piggyback_provider,
+                                               skip_wait=skip_wait)
+        self.recorder.record_round_outcome(delivery.obbc.fast_path, delivery.delivered)
+        if delivery.obbc.fast_path:
+            self._fast_certs[round_number] = {"value": delivery.obbc.decision,
+                                              "votes": delivery.obbc.votes_seen}
+
+        if not delivery.delivered:
+            # Lines 16-20: switch proposer and retry the same round.
+            self.full_mode = True
+            self.detector.record_timeout(proposer)
+            self._advance_proposer()
+            return
+
+        self.detector.record_delivery(proposer)
+        self.full_mode = False
+        payload = delivery.payload
+        header: BlockHeader = payload["header"]
+        self._evidence_by_round.setdefault(round_number, payload)
+
+        # Lines b4-b10: validate the chain linkage; any inconsistency is a
+        # cryptographically attributable proof of misbehaviour.
+        if not self._chain_consistent(header, proposer):
+            proof = self._build_proof(round_number, payload)
+            self.rb.broadcast(("panic", round_number, self.node_id), proof,
+                              size_bytes=768)
+            self._pending_panics.append((round_number, proof))
+            yield from self._recover()
+            return
+
+        block = yield from self._assemble_block(payload)
+        self.chain.append(block)
+        self._consume_ready_root(header.tx_root)
+        self.recorder.record_event(self.worker_id, round_number,
+                                   EVENT_TENTATIVE_DECISION, self.env.now,
+                                   tx_count=header.tx_count)
+        self._emit_definite()
+        self.recent_proposers.append(proposer)
+        self._advance_proposer()
+        self.round += 1
+        self._purge_stale()
+
+    def _piggyback_provider(self, current_round: int):
+        def _provide(delivered_payload):
+            if delivered_payload is None:
+                return None
+            previous = delivered_payload["header"].digest
+            payload = self._make_header(current_round + 1, previous)
+            piggyback = {"round": current_round + 1, "payload": payload}
+            return piggyback, payload["header"].size_bytes
+        return _provide
+
+    def _chain_consistent(self, header: BlockHeader, proposer: int) -> bool:
+        return (header.previous_digest == self.chain.head.digest
+                and header.round_number == self.chain.height + 1
+                and header.proposer == proposer)
+
+    def _build_proof(self, round_number: int, received_payload: dict) -> dict:
+        local_head = self.chain.head
+        local_payload = self._evidence_by_round.get(local_head.round_number)
+        if local_payload is None:
+            local_payload = {"header": local_head.header,
+                             "signature": local_head.signature
+                             or self.keys.sign(local_head.digest)}
+        return {"round": round_number, "received": received_payload,
+                "local": local_payload}
+
+    def _assemble_block(self, payload: dict):
+        header: BlockHeader = payload["header"]
+        if header.tx_count == 0:
+            return Block(header=header, batch=Batch(),
+                         signature=payload["signature"])
+        batch = self._bodies.get(header.tx_root)
+        attempts = 0
+        while batch is None:
+            attempts += 1
+            self.network.broadcast(self.node_id, self.channel, BODY_REQ,
+                                   {"root": header.tx_root}, 128)
+            event = self._body_event(header.tx_root)
+            yield self.env.any_of([event, self.env.timeout(self.timer.current * attempts)])
+            batch = self._bodies.get(header.tx_root)
+        return Block(header=header, batch=batch, signature=payload["signature"])
+
+    def _emit_definite(self) -> None:
+        definite_height = self.chain.definite_height
+        while self._last_definite_emitted < definite_height:
+            self._last_definite_emitted += 1
+            block = self.chain.block_at_round(self._last_definite_emitted)
+            if block is None:
+                continue
+            self.recorder.record_event(self.worker_id, block.round_number,
+                                       EVENT_DEFINITE_DECISION, self.env.now,
+                                       tx_count=block.tx_count)
+            if self.on_definite is not None:
+                self.on_definite(self.worker_id, block, self.env.now)
+
+    def _purge_stale(self) -> None:
+        current = self.round
+
+        def _is_stale(message: Message) -> bool:
+            payload = message.payload
+            if not isinstance(payload, dict):
+                return False
+            tag = payload.get("tag")
+            if isinstance(tag, int):
+                return tag < current
+            if isinstance(tag, tuple) and len(tag) == 2 and isinstance(tag[1], int):
+                return tag[1] < current
+            round_number = payload.get("round")
+            if isinstance(round_number, int):
+                return round_number < current
+            return False
+
+        self.context.purge_inbox(_is_stale)
+
+    # ======================================================================
+    # recovery (Algorithm 3)
+    # ======================================================================
+    def _recover(self):
+        if not self._pending_panics:
+            return
+        recovery_round = max(entry[0] for entry in self._pending_panics)
+        self._pending_panics.clear()
+        self.recovery_count += 1
+        self.recorder.record_recovery(self.env.now)
+
+        version = self.chain.version_for_recovery(recovery_round)
+        payload = {"type": "version", "recovery_round": recovery_round,
+                   "blocks": version.blocks}
+        self.ab.broadcast(payload, size_bytes=max(version.size_bytes, 256))
+
+        quorum = self.config.n_nodes - self.config.f
+        deadline_factor = 1
+        while True:
+            fresh = [entry for entry in self._version_log
+                     if entry[0] > self._version_watermark
+                     and self._version_valid(entry[2])]
+            if len(fresh) >= quorum:
+                break
+            waiter = self._version_event
+            yield self.env.any_of([
+                waiter,
+                self.env.timeout(self.config.recovery_timeout * deadline_factor),
+            ])
+            deadline_factor = min(deadline_factor + 1, 8)
+
+        selected = fresh[:quorum]
+        self._version_watermark = selected[-1][0]
+        self._adopt_best_version([entry[2] for entry in selected])
+
+        # Post-recovery state (Algorithm 3, lines 17-18).
+        self.round = self.chain.height + 1
+        # The recovery may rewind the round counter; per-round caches from the
+        # abandoned timeline must not leak into the re-run rounds.
+        for cache in (self._fast_certs, self._evidence_by_round):
+            for stale_round in [r for r in cache if r >= self.round]:
+                del cache[stale_round]
+        self._resync_proposer_pointer()
+        self.full_mode = True
+        self.detector.invalidate()
+        self._recovered_through = recovery_round
+        self._pending_panics = [entry for entry in self._pending_panics
+                                if entry[0] > recovery_round]
+        self._purge_stale()
+
+    def _version_valid(self, version: ChainVersion) -> bool:
+        """Objective validity of a recovery version (Algorithm 3, line 11)."""
+        if version.is_empty:
+            return True
+        blocks = version.blocks
+        previous = None
+        for block in blocks:
+            if block.signature is None:
+                return False
+            if not self.keystore.verify(block.signature, block.proposer, block.digest):
+                return False
+            if previous is not None:
+                if (block.previous_digest != previous.digest
+                        or block.round_number != previous.round_number + 1):
+                    return False
+            previous = block
+        return distinct_proposers_window(list(blocks), self.config.f + 1)
+
+    def _adopt_best_version(self, versions: list[ChainVersion]) -> None:
+        candidates = sorted(versions, key=lambda v: -v.newest_round)
+        if not candidates:
+            return
+        best_round = candidates[0].newest_round
+        for version in versions:  # preserve delivery order among the best
+            if version.newest_round != best_round or version.is_empty:
+                continue
+            try:
+                removed = self.chain.adopt_version(version)
+            except ValueError:
+                continue
+            for block in removed:
+                kept = any(b.digest == block.digest for b in self.chain.blocks)
+                if not kept:
+                    self.recorder.discard_block(self.worker_id, block.round_number)
+                    self.txpool.requeue(list(block.transactions))
+            self._emit_definite()
+            return
+
+    def _resync_proposer_pointer(self) -> None:
+        head = self.chain.head
+        if head.proposer < 0:
+            self.proposer_pointer = 0
+            self.recent_proposers.clear()
+            return
+        try:
+            index = self.schedule.index(head.proposer)
+        except ValueError:
+            index = 0
+        self.proposer_pointer = index + 1
+        recent = [b.proposer for b in self.chain.blocks[-self.config.f:]
+                  if b.round_number >= 0]
+        self.recent_proposers = deque(recent, maxlen=max(self.config.f, 1))

@@ -1,0 +1,128 @@
+"""FLO — the FireLedger Orchestrator (Section 6.2).
+
+A FLO node runs ``workers`` independent FireLedger instances and uses them as
+a blockchain-based ordering service.  Write requests go to the least-loaded
+worker; decided blocks are released to clients by merging the workers' chains
+in a fixed round-robin order, which preserves a single total order across all
+workers at the price of head-of-line blocking when one worker lags (visible in
+the latency figures as ``workers`` grows).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.config import FireLedgerConfig
+from repro.core.fireledger import FireLedgerWorker
+from repro.crypto.keys import KeyStore
+from repro.ledger.block import Block
+from repro.ledger.transaction import Transaction
+from repro.metrics.recorder import EVENT_FLO_DELIVERY, MetricsRecorder
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+class FLONode:
+    """One node of a FLO cluster: client manager + ``workers`` FireLedger instances."""
+
+    def __init__(self, env: Environment, network: Network, node_id: int,
+                 config: FireLedgerConfig, keystore: KeyStore,
+                 rng: Optional[random.Random] = None,
+                 worker_factory: Optional[Callable[..., FireLedgerWorker]] = None) -> None:
+        self.env = env
+        self.network = network
+        self.node_id = node_id
+        self.config = config
+        self.keystore = keystore
+        self.rng = rng or random.Random(node_id * 7919)
+        self.recorder = MetricsRecorder(node_id)
+        factory = worker_factory or FireLedgerWorker
+
+        self.workers = [
+            factory(env, network, node_id, worker_id, config, keystore,
+                    recorder=self.recorder,
+                    rng=random.Random(self.rng.randrange(2 ** 62)),
+                    on_definite=self._on_definite)
+            for worker_id in range(config.workers)
+        ]
+        self._channel_map = {worker.channel: worker for worker in self.workers}
+        self._extra_handlers: dict[str, Callable[[Message], None]] = {}
+        network.endpoint(node_id).router = self._route
+
+        # Round-robin delivery state.
+        self._delivery_cursor = 0
+        self._next_round = [0] * config.workers
+        self.delivered_blocks = 0
+        self.delivered_transactions = 0
+        self.submitted_transactions = 0
+
+    # ------------------------------------------------------------------ wiring
+    def _route(self, message: Message) -> None:
+        worker = self._channel_map.get(message.channel)
+        if worker is not None:
+            worker.dispatch(message)
+            return
+        handler = self._extra_handlers.get(message.channel)
+        if handler is not None:
+            handler(message)
+            return
+        self.network.endpoint(self.node_id).mailbox.put(message)
+
+    def register_channel(self, channel: str, handler: Callable[[Message], None]) -> None:
+        """Attach an extra protocol (e.g. a baseline) to this node's router."""
+        self._extra_handlers[channel] = handler
+
+    def start(self) -> None:
+        """Launch every worker's main process."""
+        for worker in self.workers:
+            self.env.process(worker.run())
+
+    # ----------------------------------------------------------------- client
+    def submit_transaction(self, size_bytes: Optional[int] = None,
+                           client_id: int = 0) -> Transaction:
+        """Client write request: routed to the least-loaded worker."""
+        transaction = Transaction.create(
+            client_id=client_id,
+            size_bytes=size_bytes or self.config.tx_size,
+            now=self.env.now)
+        target = min(self.workers, key=lambda worker: worker.txpool.pending)
+        target.txpool.submit(transaction)
+        self.submitted_transactions += 1
+        return transaction
+
+    # --------------------------------------------------------------- delivery
+    def _on_definite(self, worker_id: int, block: Block, time: float) -> None:
+        self._drain_deliverable()
+
+    def _drain_deliverable(self) -> None:
+        """Release definite blocks to clients in worker round-robin order."""
+        workers = self.workers
+        progressed = True
+        while progressed:
+            progressed = False
+            worker = workers[self._delivery_cursor]
+            round_number = self._next_round[self._delivery_cursor]
+            if worker.chain.is_definite(round_number):
+                block = worker.chain.block_at_round(round_number)
+                if block is not None:
+                    self.recorder.record_event(worker.worker_id, round_number,
+                                               EVENT_FLO_DELIVERY, self.env.now,
+                                               tx_count=block.tx_count)
+                    self.delivered_blocks += 1
+                    self.delivered_transactions += block.tx_count
+                self._next_round[self._delivery_cursor] = round_number + 1
+                self._delivery_cursor = (self._delivery_cursor + 1) % len(workers)
+                progressed = True
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def total_recoveries(self) -> int:
+        """Recovery invocations across all workers."""
+        return sum(worker.recovery_count for worker in self.workers)
+
+    @property
+    def chain_heights(self) -> list[int]:
+        """Current chain height of each worker."""
+        return [worker.chain.height for worker in self.workers]

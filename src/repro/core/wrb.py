@@ -1,0 +1,178 @@
+"""Weak Reliable Broadcast (WRB), Algorithm 1 of the paper.
+
+WRB is FireLedger's dissemination primitive: nodes agree on *whether* a
+message from the round's proposer is delivered (and on the sender identity),
+but not necessarily on having received it directly — a node that missed the
+message pulls it from a peer that voted for delivery.  The vote is a single
+bit decided through :class:`~repro.consensus.obbc.OptimisticBinaryConsensus`,
+so in the favourable case the whole delivery costs one all-to-all step of
+single-bit messages (plus the proposer's original broadcast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.consensus.obbc import OBBCResult, OptimisticBinaryConsensus
+from repro.core.context import ProtocolContext
+from repro.core.timers import AdaptiveTimer
+
+WRB_HEADER = "HEADER"
+WRB_PULL_REQ = "WRB_REQ"
+WRB_PULL_RESP = "WRB_RESP"
+
+
+@dataclass
+class WRBDelivery:
+    """Result of one WRB-deliver invocation."""
+
+    round_number: int
+    proposer: int
+    payload: Any                  # the delivered (header, signature), or None
+    obbc: OBBCResult
+    received_directly: bool
+    pull_used: bool = False
+
+    @property
+    def delivered(self) -> bool:
+        """Whether a non-nil message was delivered."""
+        return self.payload is not None
+
+
+class WeakReliableBroadcast:
+    """One worker's WRB endpoint.
+
+    Parameters
+    ----------
+    payload_validator:
+        Synchronous check ``(round, proposer, payload) -> bool`` verifying the
+        proposer's signature over the payload; also used to validate evidence
+        during the OBBC fallback and pulled copies.
+    acceptance_check:
+        Optional *generator* ``(payload, deadline) -> bool`` run before voting
+        for delivery; FireLedger uses it to wait for the block body referenced
+        by the header (a node votes against a header whose body it has not
+        received, Section 6.1.1).
+    """
+
+    def __init__(self, context: ProtocolContext, f: int, timer: AdaptiveTimer,
+                 payload_validator: Callable[[int, int, Any], bool],
+                 acceptance_check: Optional[Callable[[Any, float], Any]] = None,
+                 fallback_phase_timeout: float = 0.05,
+                 header_size_bytes: int = 256) -> None:
+        self.context = context
+        self.f = f
+        self.timer = timer
+        self.payload_validator = payload_validator
+        self.acceptance_check = acceptance_check
+        self.fallback_phase_timeout = fallback_phase_timeout
+        self.header_size_bytes = header_size_bytes
+        self.fast_deliveries = 0
+        self.slow_deliveries = 0
+        self.nil_deliveries = 0
+
+    # ------------------------------------------------------------------ push
+    def broadcast(self, round_number: int, payload: Any) -> None:
+        """WRB-broadcast: push the payload to every node (Algorithm 1, line 3)."""
+        self.context.broadcast(WRB_HEADER,
+                               {"round": round_number, "payload": payload},
+                               size_bytes=self.header_size_bytes,
+                               include_self=True)
+
+    # --------------------------------------------------------------- deliver
+    def deliver(self, round_number: int, proposer: int,
+                piggyback_provider: Optional[Callable[[Any], Any]] = None,
+                skip_wait: bool = False):
+        """WRB-deliver (process generator); returns a :class:`WRBDelivery`.
+
+        ``piggyback_provider`` is invoked with the delivered payload right
+        before the OBBC vote is broadcast and returns the data (and its wire
+        size) to piggyback on that vote — FireLedger uses it to ship the next
+        round's header (Section 5.1).  ``skip_wait`` implements the benign
+        failure detector: vote against delivery immediately instead of waiting
+        for a suspected proposer.
+        """
+        payload = None
+
+        def _match_header(message) -> bool:
+            return (message.kind == WRB_HEADER
+                    and message.payload.get("round") == round_number
+                    and message.sender == proposer)
+
+        wait_started = self.context.now
+        if not skip_wait:
+            deadline = self.context.now + self.timer.current
+            while payload is None and self.context.now < deadline:
+                remaining = deadline - self.context.now
+                message = yield from self.context.wait_message(_match_header,
+                                                               timeout=remaining)
+                if message is None:
+                    break
+                candidate = message.payload["payload"]
+                if not self.payload_validator(round_number, proposer, candidate):
+                    continue
+                if self.acceptance_check is not None:
+                    accepted = yield from self.acceptance_check(candidate, deadline)
+                    if not accepted:
+                        continue
+                payload = candidate
+
+        vote = 1 if payload is not None else 0
+        evidence = payload if payload is not None else None
+        piggyback, piggyback_size = None, 0
+        if piggyback_provider is not None:
+            provided = piggyback_provider(payload)
+            if provided is not None:
+                piggyback, piggyback_size = provided
+
+        obbc = OptimisticBinaryConsensus(
+            self.context, self.f, tag=round_number,
+            coordinator_base=proposer + 1,
+            evidence_validator=lambda ev: (
+                ev is not None and self.payload_validator(round_number, proposer, ev)),
+            collect_timeout=max(self.timer.current, 0.05),
+            fallback_phase_timeout=self.fallback_phase_timeout)
+        result = yield from obbc.propose(vote, evidence=evidence,
+                                         piggyback=piggyback,
+                                         piggyback_size=piggyback_size)
+
+        if result.decision == 0:
+            self.timer.record_failure()
+            self.nil_deliveries += 1
+            return WRBDelivery(round_number, proposer, None, result,
+                               received_directly=payload is not None)
+
+        if payload is not None:
+            self.timer.record_success(self.context.now - wait_started)
+            self.fast_deliveries += 1
+            return WRBDelivery(round_number, proposer, payload, result, True)
+
+        # Decision was "deliver" but we never received the message: pull it
+        # from a node that voted for delivery (Algorithm 1, lines 22-24).
+        payload = yield from self._pull(round_number, proposer)
+        self.timer.record_failure()
+        self.slow_deliveries += 1
+        return WRBDelivery(round_number, proposer, payload, result,
+                           received_directly=False, pull_used=True)
+
+    # --------------------------------------------------------------- helpers
+    def _pull(self, round_number: int, proposer: int):
+        """Pull phase: request the missed payload until a valid copy arrives."""
+        attempt = 0
+        while True:
+            attempt += 1
+            self.context.broadcast(WRB_PULL_REQ, {"round": round_number})
+
+            def _match_resp(message) -> bool:
+                return (message.kind == WRB_PULL_RESP
+                        and message.payload.get("round") == round_number
+                        and message.payload.get("payload") is not None)
+
+            message = yield from self.context.wait_message(
+                _match_resp, timeout=self.timer.current * attempt)
+            if message is None:
+                continue
+            candidate = message.payload["payload"]
+            if self.payload_validator(round_number, proposer, candidate):
+                return candidate

@@ -1,0 +1,44 @@
+"""Experiment drivers: one function per table/figure of the paper's evaluation.
+
+Every driver takes a ``scale`` argument (default well below the paper's three
+minute runs) so the full suite finishes quickly on a laptop, and returns a list
+of result rows (plain dictionaries) that the benchmark harness prints next to
+the values reported in the paper.  EXPERIMENTS.md records a full run.
+"""
+
+from repro.experiments.figures import (
+    figure05_signature_rate,
+    figure06_bps_single_dc,
+    figure07_tps_single_dc,
+    figure08_latency_cdf,
+    figure09_latency_breakdown,
+    figure10_scalability,
+    figure11_crash_failures,
+    figure12_byzantine_failures,
+    figure13_bps_multi_dc,
+    figure14_tps_multi_dc,
+    figure15_latency_multi_dc,
+    figure16_vs_hotstuff,
+    figure17_vs_bftsmart,
+    table1_costs,
+)
+from repro.experiments.harness import ExperimentScale, format_rows
+
+__all__ = [
+    "ExperimentScale",
+    "format_rows",
+    "table1_costs",
+    "figure05_signature_rate",
+    "figure06_bps_single_dc",
+    "figure07_tps_single_dc",
+    "figure08_latency_cdf",
+    "figure09_latency_breakdown",
+    "figure10_scalability",
+    "figure11_crash_failures",
+    "figure12_byzantine_failures",
+    "figure13_bps_multi_dc",
+    "figure14_tps_multi_dc",
+    "figure15_latency_multi_dc",
+    "figure16_vs_hotstuff",
+    "figure17_vs_bftsmart",
+]

@@ -1,0 +1,68 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How long and how widely to run an experiment.
+
+    The paper runs every configuration for three minutes on a real cluster;
+    a simulator on one laptop core cannot afford that times 100+
+    configurations, so each driver sweeps a representative subset by default
+    and the simulated duration is short but long enough for the rates to
+    stabilise.  ``full()`` widens the sweeps for an overnight run.
+    """
+
+    duration: float = 0.6
+    warmup: float = 0.15
+    workers_sweep: tuple[int, ...] = (1, 4, 8)
+    cluster_sizes: tuple[int, ...] = (4, 7, 10)
+    batch_sizes: tuple[int, ...] = (10, 100, 1000)
+    tx_sizes: tuple[int, ...] = (512, 1024, 4096)
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Smallest sensible scale (used by the pytest benchmarks)."""
+        return cls(duration=0.4, warmup=0.1, workers_sweep=(1, 4),
+                   cluster_sizes=(4, 10), batch_sizes=(10, 1000),
+                   tx_sizes=(512,))
+
+    @classmethod
+    def full(cls) -> "ExperimentScale":
+        """The paper's full grid (long; for EXPERIMENTS.md regeneration)."""
+        return cls(duration=1.5, warmup=0.3, workers_sweep=(1, 2, 4, 8, 10),
+                   cluster_sizes=(4, 7, 10), batch_sizes=(10, 100, 1000),
+                   tx_sizes=(512, 1024, 4096))
+
+
+def format_rows(rows: Sequence[Mapping], columns: Iterable[str] | None = None) -> str:
+    """Render result rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+    rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines = [header, "  ".join("-" * w for w in widths)]
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)

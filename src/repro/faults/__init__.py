@@ -1,0 +1,10 @@
+"""Failure injection: crash faults, Byzantine equivocation, timing faults."""
+
+from repro.faults.byzantine import ByzantineEquivocatorWorker, byzantine_worker_factory
+from repro.faults.crash import CrashSchedule
+
+__all__ = [
+    "CrashSchedule",
+    "ByzantineEquivocatorWorker",
+    "byzantine_worker_factory",
+]

@@ -1,0 +1,102 @@
+"""Byzantine fault injection: the equivocating proposer of Section 7.4.2.
+
+The paper's Byzantine FLO node works as follows: "When started, every worker
+divides the cluster into two random parts, and for every given round it
+distributes different versions of the block to each part."  The honest nodes
+in the two halves then append conflicting blocks; the next correct proposer's
+header links to only one of them, the other half detects the hash mismatch
+(Algorithm 2, line b4), reliably broadcasts a proof and the whole cluster runs
+the recovery procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fireledger import FireLedgerWorker
+from repro.core.wrb import WRB_HEADER
+
+
+class ByzantineEquivocatorWorker(FireLedgerWorker):
+    """A FireLedger worker that equivocates whenever it proposes."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        members = list(range(self.config.n_nodes))
+        self.rng.shuffle(members)
+        half = len(members) // 2
+        #: The two random halves the equivocator plays against each other.
+        self.group_a = frozenset(members[:half])
+        self.group_b = frozenset(members[half:])
+        self.equivocations = 0
+
+    # ------------------------------------------------------------------ hooks
+    def _make_conflicting_header(self, round_number: int, previous_digest: str) -> dict:
+        """A second, different header for the same round (different body)."""
+        from repro.ledger.block import header_for_batch
+
+        self._prepare_body()           # guarantees at least two distinct roots
+        alternative_root = self._ready_bodies[-1]
+        batch = self._bodies[alternative_root]
+        header = header_for_batch(round_number, self.node_id, previous_digest,
+                                  batch, worker_id=self.worker_id,
+                                  created_at=self.env.now)
+        signature = self.keys.sign(header.digest)
+        return {"header": header, "signature": signature}
+
+    def _equivocate(self, round_number: int, primary: dict, previous_digest: str) -> None:
+        """Send ``primary`` to group A and a conflicting header to group B."""
+        secondary = self._make_conflicting_header(round_number, previous_digest)
+        self.equivocations += 1
+        for receiver in range(self.config.n_nodes):
+            if receiver == self.node_id:
+                payload = primary   # keep the primary version locally too
+            else:
+                payload = primary if receiver in self.group_a else secondary
+            self.network.send(self.node_id, receiver, self.channel, WRB_HEADER,
+                              {"round": round_number, "payload": payload},
+                              size_bytes=payload["header"].size_bytes)
+
+    # --------------------------------------------------------- proposal paths
+    def _run_round(self):
+        """Same round logic, but proposals are equivocated."""
+        # Intercept the two dissemination paths by monkey-wrapping the WRB
+        # push and the piggyback provider for the duration of one round.
+        original_broadcast = self.wrb.broadcast
+
+        def _byzantine_broadcast(round_number, payload):
+            self._equivocate(round_number, payload, payload["header"].previous_digest)
+
+        self.wrb.broadcast = _byzantine_broadcast
+        try:
+            result = yield from super()._run_round()
+        finally:
+            self.wrb.broadcast = original_broadcast
+        return result
+
+    def _piggyback_provider(self, current_round: int):
+        def _provide(delivered_payload):
+            if delivered_payload is None:
+                return None
+            previous = delivered_payload["header"].digest
+            primary = self._make_header(current_round + 1, previous)
+            # Instead of piggybacking one header to everyone, push two
+            # conflicting explicit headers (one per group).
+            self._equivocate(current_round + 1, primary, previous)
+            return None
+        return _provide
+
+
+def byzantine_worker_factory(byzantine_nodes: frozenset[int]):
+    """Worker factory for :class:`~repro.core.flo.FLONode`.
+
+    Nodes listed in ``byzantine_nodes`` get equivocating workers, everyone else
+    gets the honest implementation.
+    """
+    byzantine_nodes = frozenset(byzantine_nodes)
+
+    def _factory(env, network, node_id, worker_id, config, keystore, **kwargs):
+        cls = ByzantineEquivocatorWorker if node_id in byzantine_nodes else FireLedgerWorker
+        return cls(env, network, node_id, worker_id, config, keystore, **kwargs)
+
+    return _factory

@@ -1,0 +1,42 @@
+"""Crash fault injection (Section 7.4.1).
+
+The paper crashes ``f`` nodes in the middle of a run (each node crashes with
+all of its workers) and measures throughput afterwards.  A
+:class:`CrashSchedule` arranges exactly that on the simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+@dataclass
+class CrashSchedule:
+    """Nodes to crash and when."""
+
+    #: Mapping of node id to crash time (simulated seconds).
+    crashes: dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def crash_f_nodes(cls, n_nodes: int, f: int, at: float) -> "CrashSchedule":
+        """Crash the last ``f`` nodes at time ``at`` (the paper's benign scenario)."""
+        if f >= n_nodes:
+            raise ValueError("cannot crash every node")
+        victims = range(n_nodes - f, n_nodes)
+        return cls(crashes={node_id: at for node_id in victims})
+
+    @property
+    def crashed_nodes(self) -> frozenset[int]:
+        """All nodes that will crash at some point."""
+        return frozenset(self.crashes)
+
+    def install(self, env: Environment, network: Network) -> None:
+        """Schedule the crashes on the simulation clock."""
+        for node_id, crash_time in self.crashes.items():
+            def _crash(_event, victim=node_id) -> None:
+                network.crash(victim)
+
+            env.timeout(max(crash_time, 0.0)).add_callback(_crash)

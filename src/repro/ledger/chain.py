@@ -1,0 +1,195 @@
+"""The blockchain a node maintains, with a tentative suffix.
+
+FireLedger implements BBFC(f + 1): the last ``f + 1`` blocks of the local
+chain are *tentative* (a recovery may replace them), everything older is
+*definite* and will never change.  :class:`Blockchain` keeps the whole chain
+plus the index of the newest definite block, and supports the operations the
+recovery procedure needs (extract a version, adopt a version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.ledger.block import Block, make_genesis
+
+
+@dataclass(frozen=True)
+class ChainVersion:
+    """A version proposed during recovery: a contiguous chain suffix.
+
+    ``blocks`` start at the oldest block the proposer considers possibly in
+    disagreement (round ``r - (f+1)`` of the recovery round ``r``) and run up
+    to the proposer's newest block.  An empty version means the sender was too
+    far behind to have anything to contribute (Algorithm 3, line 4).
+    """
+
+    sender: int
+    blocks: tuple[Block, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this is the empty version."""
+        return not self.blocks
+
+    @property
+    def newest_round(self) -> int:
+        """Round of the newest block in the version (-1 when empty)."""
+        if not self.blocks:
+            return -1
+        return self.blocks[-1].round_number
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size of the version."""
+        return sum(block.size_bytes for block in self.blocks)
+
+
+class Blockchain:
+    """A single worker's local chain."""
+
+    def __init__(self, finality_depth: int, worker_id: int = 0) -> None:
+        if finality_depth < 1:
+            raise ValueError("finality_depth must be >= 1")
+        self.finality_depth = finality_depth
+        self.worker_id = worker_id
+        self._blocks: list[Block] = [make_genesis(worker_id)]
+        #: Index (into ``_blocks``) of the newest definite block.
+        self._definite_index = 0
+
+    # ------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def height(self) -> int:
+        """Round number of the newest (possibly tentative) block."""
+        return self._blocks[-1].round_number
+
+    @property
+    def head(self) -> Block:
+        """The newest block (possibly tentative)."""
+        return self._blocks[-1]
+
+    @property
+    def blocks(self) -> list[Block]:
+        """Snapshot of all blocks, genesis first."""
+        return list(self._blocks)
+
+    @property
+    def definite_blocks(self) -> list[Block]:
+        """Blocks that are final (excluding the genesis placeholder)."""
+        return [b for b in self._blocks[:self._definite_index + 1] if b.round_number >= 0]
+
+    @property
+    def tentative_blocks(self) -> list[Block]:
+        """The still-revocable suffix."""
+        return list(self._blocks[self._definite_index + 1:])
+
+    @property
+    def definite_height(self) -> int:
+        """Round number of the newest definite block (-1 if only genesis)."""
+        return self._blocks[self._definite_index].round_number
+
+    def block_at_round(self, round_number: int) -> Optional[Block]:
+        """The block decided at ``round_number``, if present."""
+        offset = round_number + 1  # genesis occupies index 0 with round -1
+        if 0 <= offset < len(self._blocks):
+            block = self._blocks[offset]
+            if block.round_number == round_number:
+                return block
+        # Fallback scan (robust to adopted versions with gaps, which we forbid,
+        # but better safe than returning a wrong block).
+        for block in self._blocks:
+            if block.round_number == round_number:
+                return block
+        return None
+
+    def depth_of(self, round_number: int) -> int:
+        """Depth ``d(v^r) = r' - r`` of the block at ``round_number``."""
+        return self.height - round_number
+
+    def is_definite(self, round_number: int) -> bool:
+        """Whether the block at ``round_number`` is definite."""
+        return round_number <= self.definite_height
+
+    # --------------------------------------------------------------- mutation
+    def append(self, block: Block) -> None:
+        """Append a tentatively decided block and advance finality."""
+        if block.previous_digest != self.head.digest:
+            raise ValueError(
+                f"block r={block.round_number} does not extend the local head "
+                f"r={self.height}")
+        if block.round_number != self.height + 1:
+            raise ValueError(
+                f"expected round {self.height + 1}, got {block.round_number}")
+        self._blocks.append(block)
+        self._advance_finality()
+
+    def _advance_finality(self) -> None:
+        # Every block at depth > finality_depth becomes definite
+        # (Algorithm 2, line b11 decides the block at depth f + 2).
+        newest_definite = len(self._blocks) - 1 - (self.finality_depth + 1)
+        if newest_definite > self._definite_index:
+            self._definite_index = newest_definite
+
+    def version_for_recovery(self, recovery_round: int) -> ChainVersion:
+        """Extract this node's version for a recovery of ``recovery_round``.
+
+        Mirrors Algorithm 3 lines 3-7: if the node is too far behind it sends
+        the empty version, otherwise it sends the blocks from round
+        ``recovery_round - (finality_depth)`` (exclusive of anything already
+        agreed) up to its newest block.
+        """
+        if self.height < recovery_round - 1:
+            return ChainVersion(sender=-1, blocks=())
+        oldest = max(0, recovery_round - self.finality_depth)
+        blocks = tuple(b for b in self._blocks if b.round_number >= oldest)
+        return ChainVersion(sender=-1, blocks=blocks)
+
+    def adopt_version(self, version: ChainVersion) -> list[Block]:
+        """Replace the tentative suffix with ``version``; returns removed blocks.
+
+        The definite prefix is never modified (BBFC-Finality); the version must
+        connect to it.  Blocks the version shares with the local chain are kept
+        as is.
+        """
+        if version.is_empty:
+            return []
+        removed: list[Block] = []
+        first_round = version.blocks[0].round_number
+        # Find the local block the version's first block must link to.
+        anchor_index = None
+        for index, block in enumerate(self._blocks):
+            if block.round_number == first_round - 1:
+                anchor_index = index
+                break
+        if anchor_index is None:
+            raise ValueError(
+                f"version starting at round {first_round} does not connect to "
+                f"the local chain (height {self.height})")
+        if anchor_index < self._definite_index:
+            raise ValueError("version would rewrite the definite prefix")
+        anchor = self._blocks[anchor_index]
+        if version.blocks[0].previous_digest != anchor.digest:
+            raise ValueError("version does not hash-link to the local prefix")
+        # Keep every block the version shares with the local chain; replace
+        # only from the first divergence onward.
+        shared = 0
+        local_suffix = self._blocks[anchor_index + 1:]
+        for local_block, version_block in zip(local_suffix, version.blocks):
+            if local_block.digest != version_block.digest:
+                break
+            shared += 1
+        removed = self._blocks[anchor_index + 1 + shared:]
+        replacement = list(version.blocks[shared:])
+        if not removed and not replacement:
+            return []
+        self._blocks = (self._blocks[:anchor_index + 1 + shared] + replacement)
+        self._advance_finality()
+        return removed
+
+    def iter_rounds(self) -> Iterable[int]:
+        """Round numbers of all non-genesis blocks, oldest first."""
+        return (block.round_number for block in self._blocks if block.round_number >= 0)

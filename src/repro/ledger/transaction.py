@@ -1,0 +1,92 @@
+"""Client transactions and transaction batches (block bodies)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import hash_fields, merkle_root
+
+_tx_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An opaque client request of ``size_bytes`` bytes.
+
+    The paper's evaluation uses randomly generated transactions whose content
+    is irrelevant to ordering, so the simulation carries only the metadata the
+    protocol needs: a unique id, the submitting client, the payload size and
+    the submission time (for end-to-end latency accounting).  ``payload_digest``
+    stands in for the transaction body; two transactions with the same digest
+    are the same transaction.
+    """
+
+    tx_id: int
+    client_id: int
+    size_bytes: int
+    submitted_at: float = 0.0
+    payload_digest: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("transactions must have positive size")
+        if not self.payload_digest:
+            object.__setattr__(
+                self, "payload_digest",
+                hash_fields("tx", self.tx_id, self.client_id, self.size_bytes),
+            )
+
+    @classmethod
+    def create(cls, client_id: int, size_bytes: int, now: float = 0.0) -> "Transaction":
+        """Create a transaction with a fresh globally unique id."""
+        return cls(tx_id=next(_tx_counter), client_id=client_id,
+                   size_bytes=size_bytes, submitted_at=now)
+
+    @property
+    def digest(self) -> str:
+        """Digest identifying this transaction (Merkle leaf)."""
+        return self.payload_digest
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A block body: explicit client transactions plus synthetic filler.
+
+    The paper's saturated-load experiments top every block up with randomly
+    generated transactions (Section 7.2).  Materialising a million identical
+    filler objects per second would dominate the simulation itself, so a batch
+    carries the real client transactions explicitly and describes the filler
+    compactly by ``(filler_count, filler_tx_size, filler_nonce)`` — the nonce
+    makes every filler set unique so two batches never collide on their root.
+    """
+
+    transactions: tuple[Transaction, ...] = ()
+    filler_count: int = 0
+    filler_tx_size: int = 0
+    filler_nonce: int = 0
+
+    @property
+    def tx_count(self) -> int:
+        """Total number of transactions the batch represents."""
+        return len(self.transactions) + self.filler_count
+
+    @property
+    def size_bytes(self) -> int:
+        """Total wire size of the batch."""
+        explicit = sum(tx.size_bytes for tx in self.transactions)
+        return explicit + self.filler_count * self.filler_tx_size
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the batch carries no transactions at all."""
+        return self.tx_count == 0
+
+    @property
+    def root(self) -> str:
+        """Merkle root committing to the batch content."""
+        leaves = [tx.digest for tx in self.transactions]
+        if self.filler_count:
+            leaves.append(hash_fields("filler", self.filler_count,
+                                      self.filler_tx_size, self.filler_nonce))
+        return merkle_root(leaves)

@@ -1,0 +1,25 @@
+"""Measurement plumbing: throughput, latency, per-round event breakdown."""
+
+from repro.metrics.recorder import (
+    BLOCK_EVENTS,
+    EVENT_BLOCK_PROPOSAL,
+    EVENT_DEFINITE_DECISION,
+    EVENT_FLO_DELIVERY,
+    EVENT_HEADER_PROPOSAL,
+    EVENT_TENTATIVE_DECISION,
+    MetricsRecorder,
+)
+from repro.metrics.summary import LatencySummary, ThroughputSummary, percentile
+
+__all__ = [
+    "MetricsRecorder",
+    "BLOCK_EVENTS",
+    "EVENT_BLOCK_PROPOSAL",
+    "EVENT_HEADER_PROPOSAL",
+    "EVENT_TENTATIVE_DECISION",
+    "EVENT_DEFINITE_DECISION",
+    "EVENT_FLO_DELIVERY",
+    "ThroughputSummary",
+    "LatencySummary",
+    "percentile",
+]

@@ -1,0 +1,162 @@
+"""Per-node metrics recorder.
+
+The paper instruments every round with five events (Section 7.2.2):
+
+* **A** block proposal (the proposer assembled and disseminated the body),
+* **B** header proposal (the header entered the consensus path),
+* **C** tentative decision (the block was appended to the local chain),
+* **D** definite decision (the block reached depth ``f + 2``),
+* **E** delivery by FLO (the round-robin merge released it to clients).
+
+The recorder stores these timestamps per (worker, round) plus throughput and
+recovery counters; the summary helpers turn them into the tps/bps/latency/
+breakdown numbers each figure reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+EVENT_BLOCK_PROPOSAL = "A"
+EVENT_HEADER_PROPOSAL = "B"
+EVENT_TENTATIVE_DECISION = "C"
+EVENT_DEFINITE_DECISION = "D"
+EVENT_FLO_DELIVERY = "E"
+BLOCK_EVENTS = (
+    EVENT_BLOCK_PROPOSAL,
+    EVENT_HEADER_PROPOSAL,
+    EVENT_TENTATIVE_DECISION,
+    EVENT_DEFINITE_DECISION,
+    EVENT_FLO_DELIVERY,
+)
+
+
+@dataclass
+class BlockRecord:
+    """Timestamps and size of one (worker, round) block at one node."""
+
+    worker_id: int
+    round_number: int
+    tx_count: int = 0
+    events: dict = field(default_factory=dict)
+
+    def span(self, start_event: str, end_event: str) -> Optional[float]:
+        """Time between two events, or None if either is missing."""
+        if start_event not in self.events or end_event not in self.events:
+            return None
+        return self.events[end_event] - self.events[start_event]
+
+
+class MetricsRecorder:
+    """Collects protocol events for one node."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._blocks: dict[tuple[int, int], BlockRecord] = {}
+        self.recoveries: list[float] = []
+        self.fast_path_rounds = 0
+        self.fallback_rounds = 0
+        self.failed_rounds = 0
+        self.signature_operations = 0
+        self.measure_start: float = 0.0
+        self.measure_end: Optional[float] = None
+
+    # ---------------------------------------------------------------- events
+    def _record(self, worker_id: int, round_number: int) -> BlockRecord:
+        key = (worker_id, round_number)
+        if key not in self._blocks:
+            self._blocks[key] = BlockRecord(worker_id, round_number)
+        return self._blocks[key]
+
+    def record_event(self, worker_id: int, round_number: int, event: str,
+                     time: float, tx_count: Optional[int] = None) -> None:
+        """Record one of the A..E events for a block."""
+        if event not in BLOCK_EVENTS:
+            raise ValueError(f"unknown event {event!r}")
+        record = self._record(worker_id, round_number)
+        record.events.setdefault(event, time)
+        if tx_count is not None:
+            record.tx_count = tx_count
+
+    def discard_block(self, worker_id: int, round_number: int) -> None:
+        """Forget a block rescinded by recovery (it never counts as decided)."""
+        self._blocks.pop((worker_id, round_number), None)
+
+    def record_recovery(self, time: float) -> None:
+        """Count one invocation of the recovery procedure."""
+        self.recoveries.append(time)
+
+    def record_round_outcome(self, fast_path: bool, delivered: bool) -> None:
+        """Track how each WRB round completed (for Table 1 accounting)."""
+        if not delivered:
+            self.failed_rounds += 1
+        elif fast_path:
+            self.fast_path_rounds += 1
+        else:
+            self.fallback_rounds += 1
+
+    # -------------------------------------------------------------- summaries
+    @property
+    def blocks(self) -> list[BlockRecord]:
+        """All recorded blocks."""
+        return list(self._blocks.values())
+
+    def _window(self, end_time: float) -> float:
+        start = self.measure_start
+        end = self.measure_end if self.measure_end is not None else end_time
+        return max(end - start, 1e-9)
+
+    def _in_window(self, timestamp: float, end_time: float) -> bool:
+        end = self.measure_end if self.measure_end is not None else end_time
+        return self.measure_start <= timestamp <= end
+
+    def blocks_with_event(self, event: str, end_time: float) -> list[BlockRecord]:
+        """Blocks whose ``event`` timestamp falls in the measurement window."""
+        return [record for record in self._blocks.values()
+                if event in record.events
+                and self._in_window(record.events[event], end_time)]
+
+    def throughput_tps(self, end_time: float,
+                       event: str = EVENT_FLO_DELIVERY) -> float:
+        """Transactions per second counted at ``event``."""
+        records = self.blocks_with_event(event, end_time)
+        total_txs = sum(record.tx_count for record in records)
+        return total_txs / self._window(end_time)
+
+    def throughput_bps(self, end_time: float,
+                       event: str = EVENT_TENTATIVE_DECISION) -> float:
+        """Blocks per second counted at ``event``."""
+        records = self.blocks_with_event(event, end_time)
+        return len(records) / self._window(end_time)
+
+    def recoveries_per_second(self, end_time: float) -> float:
+        """Recovery invocations per second."""
+        window = self._window(end_time)
+        in_window = [t for t in self.recoveries if self._in_window(t, end_time)]
+        return len(in_window) / window
+
+    def latency_samples(self, start_event: str = EVENT_BLOCK_PROPOSAL,
+                        end_event: str = EVENT_FLO_DELIVERY) -> list[float]:
+        """Per-block latencies between two events."""
+        samples = []
+        for record in self._blocks.values():
+            span = record.span(start_event, end_event)
+            if span is not None:
+                samples.append(span)
+        return samples
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean time between consecutive events (the Figure 9 heatmap rows)."""
+        pairs = list(zip(BLOCK_EVENTS[:-1], BLOCK_EVENTS[1:]))
+        sums: dict[str, float] = defaultdict(float)
+        counts: dict[str, int] = defaultdict(int)
+        for record in self._blocks.values():
+            for start_event, end_event in pairs:
+                span = record.span(start_event, end_event)
+                if span is not None and span >= 0:
+                    key = f"{start_event}->{end_event}"
+                    sums[key] += span
+                    counts[key] += 1
+        return {key: sums[key] / counts[key] for key in sums}

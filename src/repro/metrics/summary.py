@@ -1,0 +1,93 @@
+"""Cross-node summary statistics for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples`` (linear interpolation)."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    value = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Guard against floating-point interpolation drifting past the extremes.
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+def cdf_points(samples: Sequence[float], points: int = 20) -> list[tuple[float, float]]:
+    """(latency, cumulative fraction) pairs for plotting a CDF."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    step = max(1, len(ordered) // points)
+    curve = []
+    for index in range(0, len(ordered), step):
+        curve.append((ordered[index], (index + 1) / len(ordered)))
+    curve.append((ordered[-1], 1.0))
+    return curve
+
+
+@dataclass(frozen=True)
+class ThroughputSummary:
+    """Throughput of one configuration, averaged over correct nodes."""
+
+    tps: float
+    bps: float
+    recoveries_per_second: float = 0.0
+
+    @classmethod
+    def average(cls, summaries: Iterable["ThroughputSummary"]) -> "ThroughputSummary":
+        """Average several per-node summaries (the paper averages over nodes)."""
+        summaries = list(summaries)
+        if not summaries:
+            return cls(tps=0.0, bps=0.0)
+        count = len(summaries)
+        return cls(
+            tps=sum(s.tps for s in summaries) / count,
+            bps=sum(s.bps for s in summaries) / count,
+            recoveries_per_second=sum(s.recoveries_per_second for s in summaries) / count,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency statistics of one configuration."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    samples: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float],
+                     trim_extreme_fraction: float = 0.0) -> "LatencySummary":
+        """Build a summary, optionally dropping the most extreme results.
+
+        Section 7.5.2 omits the 5% most extreme latencies in the multi
+        data-center experiment; ``trim_extreme_fraction=0.05`` reproduces that.
+        """
+        data = sorted(samples)
+        if not data:
+            return cls(mean=0.0, p50=0.0, p95=0.0, p99=0.0, samples=0)
+        if trim_extreme_fraction > 0 and len(data) > 10:
+            drop = int(len(data) * trim_extreme_fraction)
+            if drop:
+                data = data[:-drop]
+        return cls(
+            mean=sum(data) / len(data),
+            p50=percentile(data, 50),
+            p95=percentile(data, 95),
+            p99=percentile(data, 99),
+            samples=len(data),
+        )

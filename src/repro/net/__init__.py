@@ -1,0 +1,42 @@
+"""Simulated network substrate.
+
+Models a fully connected cluster of nodes with per-link propagation latency,
+per-node egress bandwidth (NIC serialisation), a per-message/per-byte RPC
+stack cost and pluggable fault controllers (drops, partitions, slow links).
+The two latency models mirror the paper's deployments: a single Amazon
+data-center and a ten-region geo-distributed cluster.
+"""
+
+from repro.net.latency import (
+    GEO_REGIONS,
+    GeoDistributedLatency,
+    LatencyModel,
+    SingleDatacenterLatency,
+    UniformLatency,
+)
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network, NetworkStats
+from repro.net.faults import (
+    CompositeFaultController,
+    FaultController,
+    LinkDelayFault,
+    MessageLossFault,
+    PartitionFault,
+)
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Endpoint",
+    "LatencyModel",
+    "SingleDatacenterLatency",
+    "GeoDistributedLatency",
+    "UniformLatency",
+    "GEO_REGIONS",
+    "FaultController",
+    "MessageLossFault",
+    "PartitionFault",
+    "LinkDelayFault",
+    "CompositeFaultController",
+]

@@ -1,0 +1,160 @@
+"""Link latency models for the two deployments evaluated in the paper."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class LatencyModel:
+    """Base class: per-link one-way propagation delay in seconds."""
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        """One-way delay for a message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def base_delay(self, src: int, dst: int) -> float:
+        """Deterministic component of the link delay (no jitter)."""
+        raise NotImplementedError
+
+
+class UniformLatency(LatencyModel):
+    """Every link has the same delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def base_delay(self, src: int, dst: int) -> float:
+        return (self.low + self.high) / 2.0
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class SingleDatacenterLatency(LatencyModel):
+    """Intra data-center latency: ~a quarter millisecond with light jitter.
+
+    The paper's single-DC deployment runs on non-dedicated VMs inside one AWS
+    region; typical one-way delays there are 100-500 microseconds.
+    """
+
+    def __init__(self, base: float = 0.25e-3, jitter: float = 0.35) -> None:
+        if base <= 0:
+            raise ValueError("base latency must be positive")
+        self.base = base
+        self.jitter = jitter
+
+    def base_delay(self, src: int, dst: int) -> float:
+        return self.base
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        # Lognormal-ish jitter: mostly near base, occasional slower delivery.
+        factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
+        return self.base * factor
+
+
+#: The ten AWS regions of the geo-distributed deployment (Section 7.5), in the
+#: order the paper lists them.
+GEO_REGIONS: tuple[str, ...] = (
+    "tokyo",
+    "canada-central",
+    "frankfurt",
+    "paris",
+    "sao-paulo",
+    "oregon",
+    "singapore",
+    "sydney",
+    "ireland",
+    "ohio",
+)
+
+# Approximate one-way inter-region delays in milliseconds (symmetric).  Values
+# are representative public measurements of AWS inter-region RTT halved.
+_GEO_ONE_WAY_MS: dict[frozenset[str], float] = {}
+
+
+def _set(a: str, b: str, one_way_ms: float) -> None:
+    _GEO_ONE_WAY_MS[frozenset((a, b))] = one_way_ms
+
+
+_set("tokyo", "canada-central", 78)
+_set("tokyo", "frankfurt", 118)
+_set("tokyo", "paris", 112)
+_set("tokyo", "sao-paulo", 128)
+_set("tokyo", "oregon", 48)
+_set("tokyo", "singapore", 34)
+_set("tokyo", "sydney", 52)
+_set("tokyo", "ireland", 102)
+_set("tokyo", "ohio", 74)
+_set("canada-central", "frankfurt", 46)
+_set("canada-central", "paris", 42)
+_set("canada-central", "sao-paulo", 62)
+_set("canada-central", "oregon", 30)
+_set("canada-central", "singapore", 108)
+_set("canada-central", "sydney", 100)
+_set("canada-central", "ireland", 34)
+_set("canada-central", "ohio", 13)
+_set("frankfurt", "paris", 5)
+_set("frankfurt", "sao-paulo", 102)
+_set("frankfurt", "oregon", 79)
+_set("frankfurt", "singapore", 82)
+_set("frankfurt", "sydney", 144)
+_set("frankfurt", "ireland", 13)
+_set("frankfurt", "ohio", 50)
+_set("paris", "sao-paulo", 97)
+_set("paris", "oregon", 70)
+_set("paris", "singapore", 85)
+_set("paris", "sydney", 140)
+_set("paris", "ireland", 9)
+_set("paris", "ohio", 45)
+_set("sao-paulo", "oregon", 89)
+_set("sao-paulo", "singapore", 165)
+_set("sao-paulo", "sydney", 158)
+_set("sao-paulo", "ireland", 92)
+_set("sao-paulo", "ohio", 65)
+_set("oregon", "singapore", 83)
+_set("oregon", "sydney", 70)
+_set("oregon", "ireland", 62)
+_set("oregon", "ohio", 25)
+_set("singapore", "sydney", 46)
+_set("singapore", "ireland", 88)
+_set("singapore", "ohio", 108)
+_set("sydney", "ireland", 128)
+_set("sydney", "ohio", 97)
+_set("ireland", "ohio", 38)
+
+
+class GeoDistributedLatency(LatencyModel):
+    """Latency matrix for the geo-distributed deployment.
+
+    Nodes are placed one per region in the paper's listed order; clusters
+    smaller than ten nodes use the first ``n`` regions.
+    """
+
+    def __init__(self, regions: Sequence[str] = GEO_REGIONS, jitter: float = 0.08,
+                 local_one_way: float = 0.25e-3) -> None:
+        unknown = [r for r in regions if r not in GEO_REGIONS]
+        if unknown:
+            raise ValueError(f"unknown regions: {unknown}")
+        self.regions = tuple(regions)
+        self.jitter = jitter
+        self.local_one_way = local_one_way
+
+    def region_of(self, node_id: int) -> str:
+        """Region hosting ``node_id`` (wraps around for very large clusters)."""
+        return self.regions[node_id % len(self.regions)]
+
+    def base_delay(self, src: int, dst: int) -> float:
+        region_src = self.region_of(src)
+        region_dst = self.region_of(dst)
+        if region_src == region_dst:
+            return self.local_one_way
+        return _GEO_ONE_WAY_MS[frozenset((region_src, region_dst))] * 1e-3
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        base = self.base_delay(src, dst)
+        factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
+        return base * factor

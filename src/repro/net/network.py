@@ -1,0 +1,222 @@
+"""The simulated cluster network."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.cost_model import M5_XLARGE, MachineSpec
+from repro.net.faults import FaultController
+from repro.net.latency import LatencyModel, SingleDatacenterLatency
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+from repro.sim import Environment, Resource, Store
+
+#: Messages above this size travel on the bulk (data-path) lane.
+BULK_MESSAGE_THRESHOLD = 8 * 1024
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, useful for Table 1 style accounting."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_kind: dict = field(default_factory=dict)
+
+    def record_send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        key = (message.channel, message.kind)
+        self.per_kind[key] = self.per_kind.get(key, 0) + 1
+
+    def messages_of_kind(self, kind: str, channel: Optional[str] = None) -> int:
+        """Number of messages sent with ``kind`` (optionally on one channel)."""
+        total = 0
+        for (msg_channel, msg_kind), count in self.per_kind.items():
+            if msg_kind != kind:
+                continue
+            if channel is not None and msg_channel != channel:
+                continue
+            total += count
+        return total
+
+
+class Endpoint:
+    """Per-node attachment point: mailbox, NIC serialisation state, CPU."""
+
+    def __init__(self, env: Environment, node_id: int, machine: MachineSpec) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.machine = machine
+        self.mailbox = Store(env)
+        self.cpu = Resource(env, capacity=machine.cores)
+        self.crashed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        # The data path (block bodies) and the consensus path (headers, votes)
+        # travel over independent gRPC streams in the paper's implementation,
+        # so bulk transfers do not head-of-line-block small control messages.
+        # We model that with two independent occupancy lanes per direction.
+        self._tx_free_at = {"bulk": 0.0, "ctrl": 0.0}
+        self._rx_free_at = {"bulk": 0.0, "ctrl": 0.0}
+        #: Optional callable that replaces the default mailbox delivery; nodes
+        #: install a dispatcher here to route traffic to per-protocol inboxes.
+        self.router = None
+
+    def deliver(self, message) -> None:
+        """Hand an incoming message to the router (or the default mailbox)."""
+        if self.router is not None:
+            self.router(message)
+        else:
+            self.mailbox.put(message)
+
+    def _transfer_cost(self, size_bytes: int) -> float:
+        """Time one message occupies the RPC stack + NIC on one side."""
+        return (size_bytes / self.machine.egress_bandwidth
+                + size_bytes * self.machine.network_stack_per_byte
+                + self.machine.network_stack_per_message)
+
+    @staticmethod
+    def _lane(size_bytes: int) -> str:
+        return "bulk" if size_bytes > BULK_MESSAGE_THRESHOLD else "ctrl"
+
+    def reserve_nic(self, size_bytes: int) -> float:
+        """Reserve egress (send-side) time for a payload; returns its end time."""
+        lane = self._lane(size_bytes)
+        start = max(self.env.now, self._tx_free_at[lane])
+        self._tx_free_at[lane] = start + self._transfer_cost(size_bytes)
+        self.bytes_sent += size_bytes
+        return self._tx_free_at[lane]
+
+    def reserve_ingress(self, size_bytes: int, not_before: float) -> float:
+        """Reserve receive-side processing time; returns the completion time."""
+        lane = self._lane(size_bytes)
+        start = max(not_before, self._rx_free_at[lane])
+        self._rx_free_at[lane] = start + self._transfer_cost(size_bytes)
+        return self._rx_free_at[lane]
+
+    @property
+    def nic_backlog(self) -> float:
+        """Seconds of queued bulk egress traffic on this node's NIC."""
+        return max(0.0, self._tx_free_at["bulk"] - self.env.now)
+
+    @property
+    def ingress_backlog(self) -> float:
+        """Seconds of queued bulk ingress traffic on this node's NIC."""
+        return max(0.0, self._rx_free_at["bulk"] - self.env.now)
+
+    @property
+    def bulk_egress_completion(self) -> float:
+        """Time at which everything queued on the bulk egress lane is sent."""
+        return self._tx_free_at["bulk"]
+
+
+class Network:
+    """Fully connected message-passing network between ``n_nodes`` endpoints.
+
+    Delivery of one message goes through, in order: sender-side RPC stack cost
+    and NIC serialisation (shared across all protocol instances on the node),
+    link propagation latency drawn from the latency model, receiver-side RPC
+    stack cost, then the message is placed in the receiver's mailbox.  A fault
+    controller may drop the message or add delay.  Crashed endpoints neither
+    send nor receive.  Links are reliable by default (no loss, no duplication,
+    no reordering beyond what differing latencies produce), matching the
+    system model of Section 3.1.
+    """
+
+    def __init__(self, env: Environment, n_nodes: int,
+                 latency_model: Optional[LatencyModel] = None,
+                 machine: MachineSpec = M5_XLARGE,
+                 rng: Optional[random.Random] = None,
+                 fault_controller: Optional[FaultController] = None) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.env = env
+        self.n_nodes = n_nodes
+        self.latency_model = latency_model or SingleDatacenterLatency()
+        self.machine = machine
+        self.rng = rng or random.Random(0)
+        self.fault_controller = fault_controller
+        self.stats = NetworkStats()
+        self.endpoints = [Endpoint(env, node_id, machine) for node_id in range(n_nodes)]
+
+    # ----------------------------------------------------------------- nodes
+    def endpoint(self, node_id: int) -> Endpoint:
+        """The endpoint of ``node_id``."""
+        return self.endpoints[node_id]
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node: it stops sending and receiving permanently."""
+        self.endpoints[node_id].crashed = True
+
+    def recover(self, node_id: int) -> None:
+        """Undo a crash (used by tests of the failure detector)."""
+        self.endpoints[node_id].crashed = False
+
+    def is_crashed(self, node_id: int) -> bool:
+        """Whether ``node_id`` has crashed."""
+        return self.endpoints[node_id].crashed
+
+    # ------------------------------------------------------------------ send
+    def send(self, sender: int, receiver: int, channel: str, kind: str,
+             payload: Any, size_bytes: int = MESSAGE_OVERHEAD_BYTES) -> Optional[Message]:
+        """Send one message; returns it (or ``None`` if it was dropped at source)."""
+        if not 0 <= sender < self.n_nodes or not 0 <= receiver < self.n_nodes:
+            raise ValueError(f"invalid endpoint ids sender={sender} receiver={receiver}")
+        source = self.endpoints[sender]
+        if source.crashed:
+            return None
+        message = Message(sender=sender, receiver=receiver, channel=channel,
+                          kind=kind, payload=payload, size_bytes=size_bytes,
+                          sent_at=self.env.now)
+        self.stats.record_send(message)
+
+        if sender == receiver:
+            # Local loopback: no NIC, no propagation, delivered immediately.
+            self._deliver(message, delay=0.0)
+            return message
+
+        serialisation_done = source.reserve_nic(message.size_bytes)
+        propagation = self.latency_model.sample(sender, receiver, self.rng)
+
+        extra = 0.0
+        if self.fault_controller is not None:
+            if self.fault_controller.should_drop(message, self.env.now, self.rng):
+                self.stats.messages_dropped += 1
+                return message
+            extra = self.fault_controller.extra_delay(message, self.env.now, self.rng)
+
+        destination = self.endpoints[receiver]
+        received_at = destination.reserve_ingress(
+            message.size_bytes, not_before=serialisation_done + propagation + extra)
+        self._deliver(message, delay=received_at - self.env.now)
+        return message
+
+    def broadcast(self, sender: int, channel: str, kind: str, payload: Any,
+                  size_bytes: int = MESSAGE_OVERHEAD_BYTES,
+                  include_self: bool = False) -> list[Message]:
+        """Send the same payload to every other node (clique dissemination)."""
+        messages = []
+        for receiver in range(self.n_nodes):
+            if receiver == sender and not include_self:
+                continue
+            message = self.send(sender, receiver, channel, kind, payload, size_bytes)
+            if message is not None:
+                messages.append(message)
+        return messages
+
+    def _deliver(self, message: Message, delay: float) -> None:
+        def _complete(_event) -> None:
+            destination = self.endpoints[message.receiver]
+            if destination.crashed:
+                self.stats.messages_dropped += 1
+                return
+            message.delivered_at = self.env.now
+            destination.bytes_received += message.size_bytes
+            self.stats.messages_delivered += 1
+            destination.deliver(message)
+
+        self.env.timeout(delay).add_callback(_complete)

@@ -1,0 +1,115 @@
+"""The simulation environment: the event queue and the virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Time is a float in *seconds*.  Events scheduled at the same instant are
+    processed in FIFO order of scheduling (stable tie-break), which keeps
+    every run fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0, strict_errors: bool = True) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        #: When True, exceptions escaping a process propagate out of ``run``.
+        self.strict_errors = strict_errors
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def set_active_process(self, process: Optional[Process]) -> None:
+        """Record which process is executing (used by the kernel only)."""
+        self._active_process = process
+
+    # ------------------------------------------------------------- factories
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule_event(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if not event.triggered:
+            # Self-scheduling events (timeouts) only become triggered at their
+            # fire time; finalise them here before running callbacks.
+            event._ok = True  # noqa: SLF001 - kernel-internal finalisation
+            event._value = getattr(event, "_scheduled_value", None)  # noqa: SLF001
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Start ``generator`` as a process, run the simulation, return its value."""
+        process = self.process(generator)
+        self.run(until=until)
+        if process.triggered:
+            return process.value
+        return None

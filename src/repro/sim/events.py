@@ -1,0 +1,159 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot object that is *pending* until it either
+*succeeds* (carrying a value) or *fails* (carrying an exception).  Processes
+wait on events by ``yield``-ing them; when the event fires the process is
+resumed with the event's value (or the exception is raised inside it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.environment import Environment
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or not)."""
+        return self._value is not PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (only meaningful if triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        if self._value is PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception that will be raised in waiters."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately so late waiters don't hang.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after it is created.
+
+    Unlike a plain :class:`Event`, a timeout only becomes *triggered* when the
+    simulation clock reaches its fire time (the environment finalises it just
+    before running its callbacks), so composite conditions built around it do
+    not fire early.
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._scheduled_value = value
+        env.schedule_event(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover - misuse guard
+        raise RuntimeError("Timeout events trigger themselves")
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Base for composite events built from several child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._finished = 0
+        if not self.events:
+            self.succeed(ConditionValue({}))
+            return
+        for event in self.events:
+            if event.triggered:
+                self._child_fired(event)
+            else:
+                event.add_callback(self._child_fired)
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._finished += 1
+        if self._satisfied():
+            self.succeed(ConditionValue(
+                {e: e.value for e in self.events if e.triggered and e.ok}
+            ))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConditionValue(dict):
+    """Mapping of triggered child events to their values."""
+
+
+class AnyOf(_Condition):
+    """Composite event that fires when *any* child event fires."""
+
+    def _satisfied(self) -> bool:
+        return self._finished >= 1
+
+
+class AllOf(_Condition):
+    """Composite event that fires when *all* child events have fired."""
+
+    def _satisfied(self) -> bool:
+        return self._finished >= len(self.events)

@@ -1,0 +1,68 @@
+"""Unbounded FIFO mailbox used for message delivery between processes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Store:
+    """A FIFO queue whose ``get`` returns an event.
+
+    Items are delivered to getters in FIFO order.  An optional filter function
+    may be supplied to ``get`` so that a process only wakes up for matching
+    items; non-matching items remain available for other getters.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of the items currently buffered (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item`` to the store, waking a matching getter if one waits."""
+        # Try to satisfy a waiting getter directly (FIFO over getters).
+        for index, (event, predicate) in enumerate(self._getters):
+            if event.triggered:
+                continue
+            if predicate is None or predicate(item):
+                del self._getters[index]
+                event.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Return an event that fires with the next (matching) item."""
+        event = Event(self.env)
+        for index, item in enumerate(self._items):
+            if predicate is None or predicate(item):
+                del self._items[index]
+                event.succeed(item)
+                return event
+        self._getters.append((event, predicate))
+        return event
+
+    def try_get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Pop and return a matching item immediately, or ``None``."""
+        for index, item in enumerate(self._items):
+            if predicate is None or predicate(item):
+                del self._items[index]
+                return item
+        return None
+
+    def clear(self) -> None:
+        """Drop all buffered items (waiting getters are left pending)."""
+        self._items.clear()

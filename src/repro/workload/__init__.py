@@ -1,0 +1,5 @@
+"""Client workload generation for FLO clusters."""
+
+from repro.workload.clients import ClientWorkload, OpenLoopClient
+
+__all__ = ["ClientWorkload", "OpenLoopClient"]

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import FireLedgerConfig
+from repro.crypto.keys import KeyStore
+from repro.net.latency import SingleDatacenterLatency
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def small_config() -> FireLedgerConfig:
+    """The smallest Byzantine-tolerant cluster configuration (n=4, f=1)."""
+    return FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
+
+
+def make_network(env: Environment, n_nodes: int = 4, seed: int = 0) -> Network:
+    """A single data-center network with a deterministic RNG."""
+    return Network(env, n_nodes, latency_model=SingleDatacenterLatency(),
+                   rng=random.Random(seed))
+
+
+@pytest.fixture
+def network(env: Environment) -> Network:
+    """A 4-node single data-center network."""
+    return make_network(env, 4)
+
+
+@pytest.fixture
+def keystore() -> KeyStore:
+    """Key pairs for a 4-node cluster."""
+    return KeyStore(4)

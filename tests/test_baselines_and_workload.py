@@ -1,0 +1,105 @@
+"""Tests of the HotStuff / BFT-SMaRt baselines and the client workload."""
+
+import pytest
+
+from repro.baselines import run_bftsmart_cluster, run_hotstuff_cluster
+from repro.core.config import FireLedgerConfig
+from repro.core.flo import FLONode
+from repro.crypto.cost_model import C5_4XLARGE
+from repro.crypto.keys import KeyStore
+from repro.net.latency import SingleDatacenterLatency
+from repro.net.network import Network
+from repro.sim import Environment
+from repro.workload import ClientWorkload
+import random
+
+DURATION = 1.0
+
+
+@pytest.fixture(scope="module")
+def hotstuff_result():
+    return run_hotstuff_cluster(4, batch_size=100, tx_size=512,
+                                duration=DURATION, seed=2)
+
+
+@pytest.fixture(scope="module")
+def bftsmart_result():
+    return run_bftsmart_cluster(4, batch_size=100, tx_size=512,
+                                duration=DURATION, seed=2)
+
+
+def test_hotstuff_commits_blocks(hotstuff_result):
+    assert hotstuff_result.blocks_committed > 10
+    assert hotstuff_result.tps > 0
+    assert hotstuff_result.latency.mean > 0
+
+
+def test_hotstuff_latency_spans_three_chain(hotstuff_result):
+    # Three-chain finality: commit latency is at least ~3 view durations.
+    view_duration = DURATION / max(hotstuff_result.blocks_committed, 1)
+    assert hotstuff_result.latency.mean > 2 * view_duration
+
+
+def test_bftsmart_commits_blocks(bftsmart_result):
+    assert bftsmart_result.blocks_committed > 10
+    assert bftsmart_result.tps > 0
+
+
+def test_baseline_throughput_ordering_matches_paper():
+    """Figure 16/17 shape: at n=10 HotStuff is at least on par with BFT-SMaRt
+    (the quadratic write/accept exchanges start to hurt BFT-SMaRt)."""
+    hotstuff = run_hotstuff_cluster(10, batch_size=100, tx_size=512,
+                                    duration=DURATION, seed=2)
+    bftsmart = run_bftsmart_cluster(10, batch_size=100, tx_size=512,
+                                    duration=DURATION, seed=2)
+    assert hotstuff.tps >= bftsmart.tps * 0.85
+
+
+def test_baselines_scale_down_with_cluster_size():
+    small = run_hotstuff_cluster(4, 100, 512, duration=DURATION, seed=3)
+    large = run_hotstuff_cluster(16, 100, 512, duration=DURATION, seed=3)
+    assert large.bps <= small.bps
+
+
+def test_baselines_require_minimum_cluster():
+    with pytest.raises(ValueError):
+        run_hotstuff_cluster(3, 10, 512)
+    with pytest.raises(ValueError):
+        run_bftsmart_cluster(2, 10, 512)
+
+
+def test_baseline_result_rates():
+    result = run_bftsmart_cluster(4, batch_size=50, tx_size=512,
+                                  duration=DURATION, seed=4)
+    assert result.tps == pytest.approx(result.bps * 50, rel=0.01)
+
+
+# ----------------------------------------------------------------- workload
+def test_open_loop_clients_feed_the_cluster():
+    env = Environment()
+    config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=20, tx_size=512,
+                              fill_blocks=False)
+    network = Network(env, 4, latency_model=SingleDatacenterLatency(),
+                      rng=random.Random(0))
+    keystore = KeyStore(4)
+    nodes = [FLONode(env, network, i, config, keystore, rng=random.Random(i))
+             for i in range(4)]
+    for node in nodes:
+        node.start()
+    workload = ClientWorkload(env, nodes, n_clients=8, rate_per_client=200,
+                              tx_size=512, seed=1)
+    workload.start()
+    env.run(until=1.0)
+
+    assert workload.total_submitted > 50
+    delivered = sum(node.delivered_transactions for node in nodes)
+    assert delivered > 0
+    # Only client transactions exist (no filler), so delivery cannot exceed
+    # submissions times the number of nodes that count them.
+    assert delivered <= workload.total_submitted * 4
+
+
+def test_client_rate_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ClientWorkload(env, [], n_clients=1, rate_per_client=0)

@@ -1,0 +1,125 @@
+"""Tests of the reliable and atomic broadcast primitives."""
+
+import random
+
+from repro.broadcast import AtomicBroadcast, ReliableBroadcast
+from repro.sim import Environment
+from tests.conftest import make_network
+
+
+def wire_reliable_broadcast(env, network, f=1):
+    """Build one RB endpoint per node and route traffic to it."""
+    delivered = {i: [] for i in range(network.n_nodes)}
+    endpoints = []
+    for node_id in range(network.n_nodes):
+        rb = ReliableBroadcast(network, node_id, "rb", f,
+                               lambda origin, tag, payload, nid=node_id:
+                               delivered[nid].append((origin, tag, payload)))
+        endpoints.append(rb)
+        network.endpoint(node_id).router = rb.on_message
+    return endpoints, delivered
+
+
+def test_reliable_broadcast_delivers_to_all_correct_nodes():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_reliable_broadcast(env, network)
+    endpoints[0].broadcast(tag="alert", payload={"round": 3})
+    env.run()
+    for node_id in range(4):
+        assert delivered[node_id] == [(0, "alert", {"round": 3})]
+        assert endpoints[node_id].has_delivered(0, "alert")
+
+
+def test_reliable_broadcast_delivers_despite_crashed_sender_after_send():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_reliable_broadcast(env, network)
+    endpoints[1].broadcast(tag="t", payload="x")
+
+    # Crash the origin shortly after it pushed its SEND messages: the echo
+    # amplification must still deliver everywhere.
+    def crash(_event):
+        network.crash(1)
+
+    env.timeout(0.002).add_callback(crash)
+    env.run()
+    for node_id in (0, 2, 3):
+        assert delivered[node_id] == [(1, "t", "x")]
+
+
+def test_reliable_broadcast_no_delivery_without_origin_send():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_reliable_broadcast(env, network)
+    # A single forged ECHO from one node must not cause delivery anywhere.
+    network.broadcast(2, "rb", "RB_ECHO",
+                      {"origin": 0, "tag": "fake", "payload": "evil"},
+                      include_self=True)
+    env.run()
+    assert all(not msgs for msgs in delivered.values())
+
+
+def test_reliable_broadcast_delivers_each_message_once():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_reliable_broadcast(env, network)
+    endpoints[0].broadcast(tag="once", payload=1)
+    env.run()
+    assert all(len(msgs) == 1 for msgs in delivered.values())
+
+
+def wire_atomic_broadcast(env, network, f=1, timeout=0.2):
+    delivered = {i: [] for i in range(network.n_nodes)}
+    endpoints = []
+    for node_id in range(network.n_nodes):
+        ab = AtomicBroadcast(env, network, node_id, "ab", f,
+                             lambda origin, payload, nid=node_id:
+                             delivered[nid].append((origin, payload)),
+                             request_timeout=timeout)
+        endpoints.append(ab)
+        network.endpoint(node_id).router = ab.on_message
+    return endpoints, delivered
+
+
+def test_atomic_broadcast_total_order():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_atomic_broadcast(env, network)
+    for node_id in range(4):
+        endpoints[node_id].broadcast({"from": node_id})
+    env.run(until=2.0)
+    sequences = [delivered[node_id] for node_id in range(4)]
+    assert all(len(seq) == 4 for seq in sequences)
+    # Atomic-Order: every correct node delivers the same payloads in the same order.
+    assert all(seq == sequences[0] for seq in sequences)
+
+
+def test_atomic_broadcast_delivers_own_request():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_atomic_broadcast(env, network)
+    endpoints[2].broadcast("hello")
+    env.run(until=2.0)
+    assert (2, "hello") in delivered[2]
+
+
+def test_atomic_broadcast_survives_leader_crash():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_atomic_broadcast(env, network, timeout=0.1)
+    network.crash(0)  # node 0 is the initial leader (view 0)
+    endpoints[1].broadcast("post-crash")
+    env.run(until=5.0)
+    for node_id in (1, 2, 3):
+        assert (1, "post-crash") in delivered[node_id]
+        assert endpoints[node_id].view > 0  # a view change happened
+
+
+def test_atomic_broadcast_deduplicates_requests():
+    env = Environment()
+    network = make_network(env, 4)
+    endpoints, delivered = wire_atomic_broadcast(env, network)
+    endpoints[3].broadcast("only-once")
+    env.run(until=2.0)
+    assert delivered[0].count((3, "only-once")) == 1

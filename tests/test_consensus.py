@@ -1,0 +1,164 @@
+"""Tests of OBBC (the optimistic fast path) and the BBC fallback."""
+
+import random
+
+import pytest
+
+from repro.consensus import BinaryConsensus, OptimisticBinaryConsensus
+from repro.core.context import ProtocolContext
+from repro.sim import Environment, Store
+from tests.conftest import make_network
+
+
+def build_contexts(env, network, channel="obbc"):
+    """One ProtocolContext per node, routed through the endpoint router."""
+    contexts = []
+    for node_id in range(network.n_nodes):
+        context = ProtocolContext(env, network, node_id, channel, inbox=Store(env))
+        network.endpoint(node_id).router = context.inbox.put
+        contexts.append(context)
+    return contexts
+
+
+def run_obbc(env, network, votes, evidence_for=frozenset(), f=1, tag=0):
+    """Run one OBBC instance at every node; returns the list of results."""
+    contexts = build_contexts(env, network)
+    results = [None] * network.n_nodes
+
+    def evidence_validator(evidence):
+        return evidence == "proof"
+
+    def node_process(node_id):
+        obbc = OptimisticBinaryConsensus(contexts[node_id], f, tag=tag,
+                                         coordinator_base=1,
+                                         evidence_validator=evidence_validator,
+                                         collect_timeout=0.2,
+                                         fallback_phase_timeout=0.05)
+        evidence = "proof" if node_id in evidence_for else None
+        result = yield from obbc.propose(votes[node_id], evidence=evidence)
+        results[node_id] = result
+
+    for node_id in range(network.n_nodes):
+        env.process(node_process(node_id))
+    env.run(until=20.0)
+    return results
+
+
+def test_obbc_fast_path_when_unanimous():
+    env = Environment()
+    network = make_network(env, 4)
+    results = run_obbc(env, network, votes=[1, 1, 1, 1],
+                       evidence_for={0, 1, 2, 3})
+    assert all(r is not None for r in results)
+    assert all(r.decision == 1 for r in results)
+    assert all(r.fast_path for r in results)
+
+
+def test_obbc_fast_path_for_zero():
+    env = Environment()
+    network = make_network(env, 4)
+    results = run_obbc(env, network, votes=[0, 0, 0, 0])
+    assert all(r.decision == 0 for r in results)
+    assert all(r.fast_path for r in results)
+
+
+def test_obbc_split_votes_agree_via_fallback():
+    env = Environment()
+    network = make_network(env, 4)
+    results = run_obbc(env, network, votes=[1, 1, 0, 0], evidence_for={0, 1})
+    decisions = {r.decision for r in results if r is not None}
+    assert len(decisions) == 1
+    assert all(r is not None for r in results)
+
+
+def test_obbc_evidence_pulls_fallback_to_one():
+    # Three nodes vote 0, a single node votes 1 with valid evidence: the
+    # OBBCv-Validity property still allows 1 (it has evidence) or 0, but all
+    # correct nodes must agree.
+    env = Environment()
+    network = make_network(env, 4)
+    results = run_obbc(env, network, votes=[1, 0, 0, 0], evidence_for={0})
+    decisions = {r.decision for r in results if r is not None}
+    assert len(decisions) == 1
+
+
+def test_obbc_rejects_invalid_proposals():
+    env = Environment()
+    network = make_network(env, 4)
+    context = ProtocolContext(env, network, 0, "x", inbox=Store(env))
+    obbc = OptimisticBinaryConsensus(context, 1, tag=0)
+    with pytest.raises(ValueError):
+        env.run_process(obbc.propose(2))
+    with pytest.raises(ValueError):
+        # favoured value without evidence
+        env.run_process(obbc.propose(1, evidence=None))
+    with pytest.raises(ValueError):
+        # non-favoured value with evidence
+        env.run_process(obbc.propose(0, evidence="proof"))
+
+
+def test_bbc_unanimous_input_decides_that_value():
+    env = Environment()
+    network = make_network(env, 4)
+    contexts = build_contexts(env, network, channel="bbc")
+    results = [None] * 4
+
+    def node(node_id):
+        bbc = BinaryConsensus(contexts[node_id], f=1, tag="r1",
+                              coordinator_base=0, phase_timeout=0.05)
+        results[node_id] = yield from bbc.propose(1)
+
+    for node_id in range(4):
+        env.process(node(node_id))
+    env.run(until=20.0)
+    assert results == [1, 1, 1, 1]
+
+
+def test_bbc_split_input_agrees():
+    env = Environment()
+    network = make_network(env, 4)
+    contexts = build_contexts(env, network, channel="bbc")
+    results = [None] * 4
+
+    def node(node_id, value):
+        bbc = BinaryConsensus(contexts[node_id], f=1, tag="r2",
+                              coordinator_base=2, phase_timeout=0.05)
+        results[node_id] = yield from bbc.propose(value)
+
+    for node_id, value in enumerate([0, 1, 0, 1]):
+        env.process(node(node_id, value))
+    env.run(until=30.0)
+    assert all(r in (0, 1) for r in results)
+    assert len(set(results)) == 1
+
+
+def test_bbc_certificate_terminates_late_joiner():
+    """A node that missed the fast path can decide from a single certificate."""
+    env = Environment()
+    network = make_network(env, 4)
+    context = ProtocolContext(env, network, 0, "bbc", inbox=Store(env))
+    network.endpoint(0).router = context.inbox.put
+
+    def certificate_sender(_event):
+        network.send(1, 0, "bbc", "BBC_DECIDED",
+                     {"tag": "r3", "value": 1,
+                      "certificate": {0: 1, 1: 1, 2: 1}})
+
+    env.timeout(0.01).add_callback(certificate_sender)
+
+    def late_node():
+        bbc = BinaryConsensus(context, f=1, tag="r3", coordinator_base=0,
+                              phase_timeout=0.05)
+        return (yield from bbc.propose(0))
+
+    result = env.run_process(late_node(), until=10.0)
+    assert result == 1
+
+
+def test_bbc_rejects_non_binary_value():
+    env = Environment()
+    network = make_network(env, 4)
+    context = ProtocolContext(env, network, 0, "bbc", inbox=Store(env))
+    bbc = BinaryConsensus(context, f=1, tag="r4")
+    with pytest.raises(ValueError):
+        env.run_process(bbc.propose(5))

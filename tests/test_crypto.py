@@ -1,0 +1,125 @@
+"""Tests of the simulated cryptographic substrate."""
+
+import pytest
+
+from repro.crypto import (
+    CryptoCostModel,
+    InvalidSignatureError,
+    KeyPair,
+    KeyStore,
+    hash_bytes,
+    hash_fields,
+    proposer_permutation,
+)
+from repro.crypto.cost_model import C5_4XLARGE, M5_XLARGE
+from repro.crypto.hashing import merkle_root
+from repro.crypto.vrf import rotate_schedule
+
+
+def test_hash_bytes_is_deterministic():
+    assert hash_bytes(b"abc") == hash_bytes(b"abc")
+    assert hash_bytes(b"abc") != hash_bytes(b"abd")
+
+
+def test_hash_fields_sensitive_to_order_and_content():
+    assert hash_fields("a", 1) != hash_fields(1, "a")
+    assert hash_fields("a", [1, 2]) == hash_fields("a", [1, 2])
+    assert hash_fields("a", [1, 2]) != hash_fields("a", [2, 1])
+
+
+def test_merkle_root_empty_and_singleton():
+    assert merkle_root([]) == "0" * 64
+    leaf = hash_bytes(b"leaf")
+    assert merkle_root([leaf]) == leaf
+
+
+def test_merkle_root_changes_with_any_leaf():
+    leaves = [hash_bytes(bytes([i])) for i in range(5)]
+    base = merkle_root(leaves)
+    mutated = list(leaves)
+    mutated[3] = hash_bytes(b"other")
+    assert merkle_root(mutated) != base
+
+
+def test_sign_and_verify_roundtrip():
+    keystore = KeyStore(4)
+    signature = keystore.key_for(2).sign("digest")
+    assert keystore.verify(signature, expected_signer=2, digest="digest")
+    assert not keystore.verify(signature, expected_signer=1, digest="digest")
+    assert not keystore.verify(signature, expected_signer=2, digest="other")
+
+
+def test_forged_signature_never_verifies():
+    keystore = KeyStore(4)
+    forged = keystore.key_for(3).forge(victim_id=0, digest="digest")
+    assert not keystore.verify(forged, expected_signer=0, digest="digest")
+
+
+def test_require_valid_raises():
+    pair = KeyPair(node_id=1)
+    signature = pair.sign("digest")
+    signature.require_valid(1, "digest")
+    with pytest.raises(InvalidSignatureError):
+        signature.require_valid(2, "digest")
+
+
+def test_keystore_counts_signatures():
+    keystore = KeyStore(3)
+    keystore.key_for(0).sign("a")
+    keystore.key_for(1).sign("b")
+    assert keystore.total_signatures_created == 2
+
+
+def test_cost_model_matches_paper_formula():
+    model = CryptoCostModel(M5_XLARGE)
+    beta, sigma = 1000, 512
+    expected = beta * sigma * M5_XLARGE.hash_time_per_byte + M5_XLARGE.sign_constant
+    assert model.block_sign_time(beta, sigma) == pytest.approx(expected)
+
+
+def test_signature_rate_saturates_at_core_count():
+    model = CryptoCostModel(M5_XLARGE)
+    at_cores = model.signatures_per_second(100, 512, workers=M5_XLARGE.cores)
+    beyond = model.signatures_per_second(100, 512, workers=M5_XLARGE.cores + 6)
+    assert beyond == pytest.approx(at_cores)
+
+
+def test_signature_rate_decreases_with_block_size():
+    model = CryptoCostModel(M5_XLARGE)
+    small = model.signatures_per_second(10, 512, workers=4)
+    large = model.signatures_per_second(1000, 4096, workers=4)
+    assert small > large
+
+
+def test_tps_bound_scales_with_batch():
+    model = CryptoCostModel(M5_XLARGE)
+    assert (model.max_tps_from_signing(1000, 512, 4)
+            > model.max_tps_from_signing(10, 512, 4))
+
+
+def test_c5_is_faster_than_m5():
+    m5 = CryptoCostModel(M5_XLARGE)
+    c5 = CryptoCostModel(C5_4XLARGE)
+    assert (c5.signatures_per_second(1000, 512, 16)
+            > m5.signatures_per_second(1000, 512, 16))
+
+
+def test_machine_spec_scaled_override():
+    spec = M5_XLARGE.scaled(cores=8)
+    assert spec.cores == 8
+    assert spec.name == M5_XLARGE.name
+
+
+def test_proposer_permutation_is_deterministic_and_complete():
+    first = proposer_permutation(10, seed="abc")
+    second = proposer_permutation(10, seed="abc")
+    other = proposer_permutation(10, seed="abd")
+    assert first == second
+    assert sorted(first) == list(range(10))
+    assert first != other or len(first) <= 2
+
+
+def test_rotate_schedule():
+    assert rotate_schedule([0, 1, 2, 3], 2) == [2, 3, 0, 1]
+    with pytest.raises(ValueError):
+        rotate_schedule([], 0)

@@ -1,0 +1,226 @@
+"""Tests of transactions, batches, blocks, the chain and the tx pool."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyStore
+from repro.ledger import (
+    Batch,
+    Block,
+    Blockchain,
+    ChainVersion,
+    Transaction,
+    TxPool,
+    ValidationError,
+    build_block,
+    make_genesis,
+    validate_block,
+    validate_chain,
+)
+from repro.ledger.validation import distinct_proposers_window, is_valid_block
+
+
+def make_chain_blocks(count, keystore=None, proposers=None, batch_size=3):
+    """Helper: a valid chain of ``count`` signed blocks on top of genesis."""
+    keystore = keystore or KeyStore(4)
+    chain = [make_genesis()]
+    blocks = []
+    for round_number in range(count):
+        proposer = proposers[round_number] if proposers else round_number % 4
+        batch = Batch(filler_count=batch_size, filler_tx_size=512,
+                      filler_nonce=round_number + 1)
+        block = build_block(round_number, proposer, chain[-1].digest, batch=batch)
+        block = block.with_signature(keystore.key_for(proposer).sign(block.digest))
+        chain.append(block)
+        blocks.append(block)
+    return blocks, keystore
+
+
+def test_transaction_requires_positive_size():
+    with pytest.raises(ValueError):
+        Transaction(tx_id=0, client_id=0, size_bytes=0)
+
+
+def test_transaction_digest_unique():
+    a = Transaction.create(client_id=1, size_bytes=512)
+    b = Transaction.create(client_id=1, size_bytes=512)
+    assert a.digest != b.digest
+
+
+def test_batch_counts_and_size():
+    txs = tuple(Transaction.create(0, 512) for _ in range(3))
+    batch = Batch(transactions=txs, filler_count=7, filler_tx_size=256, filler_nonce=1)
+    assert batch.tx_count == 10
+    assert batch.size_bytes == 3 * 512 + 7 * 256
+    assert not batch.is_empty
+
+
+def test_batch_roots_differ_by_nonce():
+    a = Batch(filler_count=10, filler_tx_size=512, filler_nonce=1)
+    b = Batch(filler_count=10, filler_tx_size=512, filler_nonce=2)
+    assert a.root != b.root
+
+
+def test_block_body_matches_header():
+    batch = Batch(filler_count=5, filler_tx_size=512, filler_nonce=3)
+    block = build_block(0, 1, make_genesis().digest, batch=batch)
+    assert block.body_matches_header()
+    tampered = Block(header=block.header,
+                     batch=Batch(filler_count=6, filler_tx_size=512, filler_nonce=3))
+    assert not tampered.body_matches_header()
+
+
+def test_validate_block_signature_and_linkage():
+    blocks, keystore = make_chain_blocks(2)
+    genesis = make_genesis()
+    validate_block(blocks[0], genesis, keystore)
+    validate_block(blocks[1], blocks[0], keystore)
+    with pytest.raises(ValidationError):
+        validate_block(blocks[1], genesis, keystore)  # wrong predecessor
+
+
+def test_validate_block_rejects_unsigned():
+    genesis = make_genesis()
+    block = build_block(0, 0, genesis.digest,
+                        batch=Batch(filler_count=1, filler_tx_size=64, filler_nonce=1))
+    with pytest.raises(ValidationError):
+        validate_block(block, genesis, KeyStore(4))
+
+
+def test_validate_block_rejects_wrong_proposer():
+    blocks, keystore = make_chain_blocks(1)
+    with pytest.raises(ValidationError):
+        validate_block(blocks[0], make_genesis(), keystore, expected_proposer=3)
+
+
+def test_validate_chain_accepts_valid_segment():
+    blocks, keystore = make_chain_blocks(5)
+    validate_chain([make_genesis()] + blocks, keystore)
+
+
+def test_is_valid_block_boolean_wrapper():
+    blocks, keystore = make_chain_blocks(1)
+    assert is_valid_block(blocks[0], make_genesis(), keystore)
+    assert not is_valid_block(blocks[0], blocks[0], keystore)
+
+
+def test_distinct_proposers_window():
+    blocks, _ = make_chain_blocks(4, proposers=[0, 1, 2, 3])
+    assert distinct_proposers_window(blocks, window=2)
+    repeated, _ = make_chain_blocks(4, proposers=[0, 1, 1, 2])
+    assert not distinct_proposers_window(repeated, window=2)
+
+
+# ---------------------------------------------------------------- Blockchain
+def test_blockchain_append_and_finality_depth():
+    chain = Blockchain(finality_depth=2)
+    blocks, _ = make_chain_blocks(6)
+    for block in blocks:
+        chain.append(block)
+    # With finality depth f+1 = 2, blocks deeper than depth 3 are definite.
+    assert chain.height == 5
+    assert chain.definite_height == 5 - 3
+    assert [b.round_number for b in chain.tentative_blocks] == [3, 4, 5]
+    assert chain.is_definite(2)
+    assert not chain.is_definite(3)
+
+
+def test_blockchain_rejects_gaps_and_forks():
+    chain = Blockchain(finality_depth=2)
+    blocks, _ = make_chain_blocks(3)
+    chain.append(blocks[0])
+    with pytest.raises(ValueError):
+        chain.append(blocks[2])  # skips round 1
+    fork = build_block(1, 2, "not-the-head-digest",
+                       batch=Batch(filler_count=1, filler_tx_size=64, filler_nonce=9))
+    with pytest.raises(ValueError):
+        chain.append(fork)
+
+
+def test_blockchain_block_at_round_and_depth():
+    chain = Blockchain(finality_depth=2)
+    blocks, _ = make_chain_blocks(4)
+    for block in blocks:
+        chain.append(block)
+    assert chain.block_at_round(2).round_number == 2
+    assert chain.block_at_round(99) is None
+    assert chain.depth_of(1) == chain.height - 1
+
+
+def test_version_for_recovery_window():
+    chain = Blockchain(finality_depth=2)
+    blocks, _ = make_chain_blocks(6)
+    for block in blocks:
+        chain.append(block)
+    version = chain.version_for_recovery(recovery_round=5)
+    assert [b.round_number for b in version.blocks] == [3, 4, 5]
+    behind = Blockchain(finality_depth=2)
+    assert behind.version_for_recovery(recovery_round=5).is_empty
+
+
+def test_adopt_version_replaces_tentative_suffix():
+    keystore = KeyStore(4)
+    blocks, _ = make_chain_blocks(5, keystore=keystore)
+    chain = Blockchain(finality_depth=2)
+    for block in blocks:
+        chain.append(block)
+
+    # Build an alternative suffix for rounds 4..5 linking to block 3.
+    alt4 = build_block(4, 2, blocks[3].digest,
+                       batch=Batch(filler_count=2, filler_tx_size=64, filler_nonce=77))
+    alt4 = alt4.with_signature(keystore.key_for(2).sign(alt4.digest))
+    alt5 = build_block(5, 3, alt4.digest,
+                       batch=Batch(filler_count=2, filler_tx_size=64, filler_nonce=78))
+    alt5 = alt5.with_signature(keystore.key_for(3).sign(alt5.digest))
+    removed = chain.adopt_version(ChainVersion(sender=1, blocks=(alt4, alt5)))
+
+    assert [b.round_number for b in removed] == [4]
+    assert chain.head.digest == alt5.digest
+    assert chain.height == 5
+
+
+def test_adopt_version_never_rewrites_definite_prefix():
+    chain = Blockchain(finality_depth=1)
+    blocks, keystore = make_chain_blocks(6)
+    for block in blocks:
+        chain.append(block)
+    definite_round = chain.definite_height
+    bogus = build_block(definite_round, 0, "bogus-prev",
+                        batch=Batch(filler_count=1, filler_tx_size=64, filler_nonce=5))
+    with pytest.raises(ValueError):
+        chain.adopt_version(ChainVersion(sender=0, blocks=(bogus,)))
+
+
+# -------------------------------------------------------------------- TxPool
+def test_txpool_priority_to_client_transactions():
+    pool = TxPool(default_tx_size=512, rng=random.Random(1))
+    client_tx = Transaction.create(client_id=7, size_bytes=512)
+    pool.submit(client_tx)
+    batch = pool.take_batch(10)
+    assert client_tx in batch.transactions
+    assert batch.tx_count == 10
+    assert batch.filler_count == 9
+
+
+def test_txpool_no_fill_mode_returns_partial_batches():
+    pool = TxPool(default_tx_size=512)
+    batch = pool.take_batch(10, fill_random=False)
+    assert batch.is_empty
+    pool.submit(Transaction.create(client_id=1, size_bytes=512))
+    batch = pool.take_batch(10, fill_random=False)
+    assert batch.tx_count == 1
+
+
+def test_txpool_requeue_keeps_only_client_transactions():
+    pool = TxPool(default_tx_size=512)
+    client_tx = Transaction.create(client_id=3, size_bytes=512)
+    synthetic = Transaction.create(client_id=pool.synthetic_client_id, size_bytes=512)
+    pool.requeue([client_tx, synthetic])
+    assert pool.pending == 1
+
+
+def test_txpool_batches_have_unique_roots():
+    pool = TxPool(default_tx_size=512, rng=random.Random(2))
+    roots = {pool.take_batch(100).root for _ in range(50)}
+    assert len(roots) == 50

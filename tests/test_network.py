@@ -1,0 +1,185 @@
+"""Tests of the simulated network substrate."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    GeoDistributedLatency,
+    LinkDelayFault,
+    MessageLossFault,
+    PartitionFault,
+    SingleDatacenterLatency,
+    UniformLatency,
+)
+from repro.net.network import BULK_MESSAGE_THRESHOLD, Network
+from repro.sim import Environment
+from tests.conftest import make_network
+
+
+def collect_inbox(network, node_id):
+    return network.endpoint(node_id).mailbox.items
+
+
+def test_message_delivered_with_latency(env, network):
+    network.send(0, 1, "test", "PING", {"x": 1}, size_bytes=128)
+    env.run()
+    inbox = collect_inbox(network, 1)
+    assert len(inbox) == 1
+    message = inbox[0]
+    assert message.kind == "PING"
+    assert message.latency > 0
+
+
+def test_loopback_is_immediate(env, network):
+    network.send(2, 2, "test", "SELF", None)
+    env.run()
+    assert len(collect_inbox(network, 2)) == 1
+    assert collect_inbox(network, 2)[0].latency == 0
+
+
+def test_broadcast_reaches_everyone_but_sender(env, network):
+    network.broadcast(0, "test", "HELLO", None)
+    env.run()
+    assert len(collect_inbox(network, 0)) == 0
+    for node in (1, 2, 3):
+        assert len(collect_inbox(network, node)) == 1
+
+
+def test_broadcast_include_self(env, network):
+    network.broadcast(1, "test", "HELLO", None, include_self=True)
+    env.run()
+    assert len(collect_inbox(network, 1)) == 1
+
+
+def test_crashed_node_neither_sends_nor_receives(env, network):
+    network.crash(3)
+    network.send(3, 0, "test", "FROM_CRASHED", None)
+    network.send(0, 3, "test", "TO_CRASHED", None)
+    env.run()
+    assert collect_inbox(network, 0) == []
+    assert collect_inbox(network, 3) == []
+    assert network.stats.messages_dropped >= 1
+
+
+def test_large_messages_slower_than_small(env, network):
+    network.send(0, 1, "test", "SMALL", None, size_bytes=128)
+    network.send(2, 1, "test", "BIG", None, size_bytes=5 * 1024 * 1024)
+    env.run()
+    messages = {m.kind: m for m in collect_inbox(network, 1)}
+    assert messages["BIG"].latency > messages["SMALL"].latency
+
+
+def test_bulk_lane_does_not_block_control_messages(env, network):
+    # Queue a huge body first, then a tiny control message to the same peer.
+    network.send(0, 1, "test", "BODY", None, size_bytes=20 * 1024 * 1024)
+    network.send(0, 1, "test", "VOTE", None, size_bytes=128)
+    env.run()
+    messages = {m.kind: m for m in collect_inbox(network, 1)}
+    assert messages["VOTE"].delivered_at < messages["BODY"].delivered_at
+
+
+def test_nic_serialisation_accumulates_backlog(env, network):
+    endpoint = network.endpoint(0)
+    for _ in range(5):
+        network.send(0, 1, "test", "BODY", None, size_bytes=BULK_MESSAGE_THRESHOLD * 100)
+    assert endpoint.nic_backlog > 0
+    env.run()
+    assert endpoint.nic_backlog == 0
+
+
+def test_router_receives_messages(env, network):
+    received = []
+    network.endpoint(1).router = received.append
+    network.send(0, 1, "test", "PING", None)
+    env.run()
+    assert len(received) == 1
+    assert network.endpoint(1).mailbox.items == []
+
+
+def test_invalid_endpoints_rejected(env, network):
+    with pytest.raises(ValueError):
+        network.send(0, 99, "test", "PING", None)
+
+
+def test_network_stats_per_kind(env, network):
+    network.broadcast(0, "chan", "A", None)
+    network.send(1, 2, "chan", "B", None)
+    env.run()
+    assert network.stats.messages_of_kind("A") == 3
+    assert network.stats.messages_of_kind("B", channel="chan") == 1
+    assert network.stats.messages_of_kind("B", channel="other") == 0
+
+
+# ------------------------------------------------------------ latency models
+def test_single_datacenter_latency_is_submillisecond_scale():
+    model = SingleDatacenterLatency()
+    rng = random.Random(0)
+    samples = [model.sample(0, 1, rng) for _ in range(200)]
+    assert all(s >= model.base for s in samples)
+    assert sum(samples) / len(samples) < 2e-3
+
+
+def test_geo_latency_much_larger_than_local():
+    model = GeoDistributedLatency()
+    rng = random.Random(0)
+    # Nodes 0 and 2 are Tokyo and Frankfurt: ~100ms one way.
+    assert model.base_delay(0, 2) > 0.05
+    assert model.sample(0, 2, rng) > 0.05
+    # A node is local to itself-region peer (wrap-around for node 10).
+    assert model.base_delay(0, 10) == pytest.approx(model.local_one_way)
+
+
+def test_geo_latency_symmetry():
+    model = GeoDistributedLatency()
+    assert model.base_delay(1, 5) == model.base_delay(5, 1)
+
+
+def test_uniform_latency_bounds():
+    model = UniformLatency(0.01, 0.02)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert 0.01 <= model.sample(0, 1, rng) <= 0.02
+    with pytest.raises(ValueError):
+        UniformLatency(0.05, 0.01)
+
+
+# ------------------------------------------------------------ fault injection
+def test_message_loss_fault_drops_messages():
+    env = Environment()
+    network = make_network(env, 4)
+    network.fault_controller = MessageLossFault(loss_rate=1.0, senders={0})
+    network.send(0, 1, "t", "X", None)
+    network.send(2, 1, "t", "Y", None)
+    env.run()
+    kinds = [m.kind for m in network.endpoint(1).mailbox.items]
+    assert kinds == ["Y"]
+
+
+def test_partition_fault_blocks_cross_group_traffic():
+    env = Environment()
+    network = make_network(env, 4)
+    network.fault_controller = PartitionFault(groups=[{0, 1}, {2, 3}])
+    network.send(0, 1, "t", "SAME", None)
+    network.send(0, 2, "t", "CROSS", None)
+    env.run()
+    assert [m.kind for m in network.endpoint(1).mailbox.items] == ["SAME"]
+    assert network.endpoint(2).mailbox.items == []
+
+
+def test_link_delay_fault_adds_latency():
+    env = Environment()
+    network = make_network(env, 4)
+    network.fault_controller = LinkDelayFault(delay=0.5, senders={0})
+    network.send(0, 1, "t", "SLOW", None)
+    env.run()
+    assert network.endpoint(1).mailbox.items[0].latency > 0.5
+
+
+def test_partition_fault_time_window():
+    env = Environment()
+    network = make_network(env, 4)
+    network.fault_controller = PartitionFault(groups=[{0}, {1, 2, 3}], start=10.0)
+    network.send(0, 1, "t", "BEFORE", None)
+    env.run()
+    assert [m.kind for m in network.endpoint(1).mailbox.items] == ["BEFORE"]

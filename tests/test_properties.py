@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) of core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.timers import AdaptiveTimer
+from repro.crypto.cost_model import CryptoCostModel, M5_XLARGE
+from repro.crypto.hashing import merkle_root
+from repro.crypto.vrf import proposer_permutation
+from repro.ledger import Batch, Blockchain, ChainVersion, Transaction, build_block
+from repro.crypto.keys import KeyStore
+from repro.metrics.summary import percentile
+
+common_settings = settings(max_examples=50,
+                           suppress_health_check=[HealthCheck.too_slow],
+                           deadline=None)
+
+
+# ------------------------------------------------------------------ hashing
+@common_settings
+@given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=32))
+def test_merkle_root_deterministic_and_order_sensitive(leaves_raw):
+    from repro.crypto.hashing import hash_bytes
+    leaves = [hash_bytes(raw) for raw in leaves_raw]
+    assert merkle_root(leaves) == merkle_root(list(leaves))
+    if len(set(leaves)) > 1:
+        shuffled = list(leaves)
+        shuffled.reverse()
+        if shuffled != leaves:
+            assert merkle_root(shuffled) != merkle_root(leaves)
+
+
+@common_settings
+@given(st.integers(min_value=1, max_value=64), st.text(min_size=1, max_size=20))
+def test_proposer_permutation_properties(n_nodes, seed):
+    permutation = proposer_permutation(n_nodes, seed)
+    assert sorted(permutation) == list(range(n_nodes))
+    assert permutation == proposer_permutation(n_nodes, seed)
+
+
+# ---------------------------------------------------------------- cost model
+@common_settings
+@given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=8192),
+       st.integers(min_value=1, max_value=32))
+def test_cost_model_monotonicity(batch, tx_size, workers):
+    model = CryptoCostModel(M5_XLARGE)
+    assert model.block_sign_time(batch, tx_size) > 0
+    assert (model.block_sign_time(batch + 1, tx_size)
+            >= model.block_sign_time(batch, tx_size))
+    sps = model.signatures_per_second(batch, tx_size, workers)
+    capped = model.signatures_per_second(batch, tx_size, M5_XLARGE.cores)
+    assert sps <= capped + 1e-9
+
+
+# -------------------------------------------------------------------- batches
+@common_settings
+@given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=1, max_value=4096), st.integers(min_value=0, max_value=2 ** 32))
+def test_batch_counts_are_consistent(n_explicit, filler, tx_size, nonce):
+    txs = tuple(Transaction.create(client_id=1, size_bytes=tx_size)
+                for _ in range(n_explicit))
+    batch = Batch(transactions=txs, filler_count=filler, filler_tx_size=tx_size,
+                  filler_nonce=nonce)
+    assert batch.tx_count == n_explicit + filler
+    assert batch.size_bytes == (n_explicit + filler) * tx_size
+    assert batch.is_empty == (batch.tx_count == 0)
+    # The root commits to the content: changing the filler changes the root.
+    if filler:
+        other = Batch(transactions=txs, filler_count=filler + 1,
+                      filler_tx_size=tx_size, filler_nonce=nonce)
+        assert other.root != batch.root
+
+
+# ----------------------------------------------------------------- blockchain
+def build_random_chain(rng, length, finality_depth, n_nodes=4):
+    keystore = KeyStore(n_nodes)
+    chain = Blockchain(finality_depth=finality_depth)
+    previous_proposer = -1
+    for round_number in range(length):
+        choices = [p for p in range(n_nodes) if p != previous_proposer]
+        proposer = rng.choice(choices)
+        previous_proposer = proposer
+        batch = Batch(filler_count=rng.randint(0, 5), filler_tx_size=64,
+                      filler_nonce=rng.randrange(2 ** 32))
+        block = build_block(round_number, proposer, chain.head.digest, batch=batch)
+        block = block.with_signature(keystore.key_for(proposer).sign(block.digest))
+        chain.append(block)
+    return chain
+
+
+@common_settings
+@given(st.integers(min_value=0, max_value=40), st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=2 ** 31))
+def test_blockchain_finality_invariants(length, finality_depth, seed):
+    """BBFC invariants: the definite prefix is exactly depth > f+1 and ordered."""
+    rng = random.Random(seed)
+    chain = build_random_chain(rng, length, finality_depth)
+    assert chain.height == length - 1 if length else chain.height == -1
+    # Finality boundary.
+    expected_definite = max(length - 1 - (finality_depth + 1), -1)
+    assert chain.definite_height == expected_definite
+    # Hash-linkage and round monotonicity of the whole chain.
+    blocks = chain.blocks
+    for previous, block in zip(blocks, blocks[1:]):
+        assert block.previous_digest == previous.digest
+        assert block.round_number == previous.round_number + 1
+    # Every definite block is also reported as definite.
+    for block in chain.definite_blocks:
+        assert chain.is_definite(block.round_number)
+        assert chain.depth_of(block.round_number) > finality_depth
+
+
+@common_settings
+@given(st.integers(min_value=8, max_value=30), st.integers(min_value=0, max_value=2 ** 31))
+def test_recovery_version_roundtrip_preserves_definite_prefix(length, seed):
+    """Adopting a node's own recovery version never changes the chain."""
+    rng = random.Random(seed)
+    chain = build_random_chain(rng, length, finality_depth=2)
+    recovery_round = chain.height + 1
+    version = chain.version_for_recovery(recovery_round)
+    definite_before = [b.digest for b in chain.definite_blocks]
+    head_before = chain.head.digest
+    removed = chain.adopt_version(version)
+    assert removed == []
+    assert chain.head.digest == head_before
+    assert [b.digest for b in chain.definite_blocks] == definite_before
+
+
+# --------------------------------------------------------------------- timers
+@common_settings
+@given(st.lists(st.tuples(st.booleans(), st.floats(min_value=0, max_value=2.0)),
+                min_size=1, max_size=200))
+def test_adaptive_timer_always_within_bounds(events):
+    timer = AdaptiveTimer(initial=0.5, minimum=0.01, maximum=5.0)
+    for success, delay in events:
+        if success:
+            timer.record_success(delay)
+        else:
+            timer.record_failure()
+        assert 0.01 <= timer.current <= 5.0
+
+
+# ------------------------------------------------------------------ percentile
+@common_settings
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1,
+                max_size=200),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(samples, q):
+    value = percentile(samples, q)
+    assert min(samples) <= value <= max(samples)

@@ -1,0 +1,246 @@
+"""Tests of the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Resource, Store, Timeout
+
+
+def test_timeout_fires_at_the_right_time(env):
+    fired = []
+    env.timeout(1.5).add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [1.5]
+
+
+def test_timeout_is_not_triggered_before_its_fire_time(env):
+    timeout = env.timeout(1.0)
+    assert not timeout.triggered
+    env.run(until=0.5)
+    assert not timeout.triggered
+    env.run(until=2.0)
+    assert timeout.triggered and timeout.ok
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(ValueError):
+        env.timeout(-0.1)
+
+
+def test_events_at_same_time_processed_in_fifo_order(env):
+    order = []
+    env.timeout(1.0).add_callback(lambda e: order.append("first"))
+    env.timeout(1.0).add_callback(lambda e: order.append("second"))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_event_succeed_carries_value(env):
+    event = env.event()
+    results = []
+    event.add_callback(lambda e: results.append(e.value))
+    event.succeed(42)
+    env.run()
+    assert results == [42]
+
+
+def test_event_cannot_trigger_twice(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_inside_process(env):
+    event = env.event()
+
+    def process():
+        with pytest.raises(ValueError):
+            yield event
+        return "handled"
+
+    proc = env.process(process())
+    event.fail(ValueError("boom"))
+    env.run()
+    assert proc.value == "handled"
+
+
+def test_process_returns_value(env):
+    def worker():
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(worker())
+    env.run()
+    assert proc.triggered
+    assert proc.value == "done"
+    assert env.now == 1.0
+
+
+def test_processes_can_wait_for_each_other(env):
+    def child():
+        yield env.timeout(2.0)
+        return 7
+
+    def parent():
+        result = yield env.process(child())
+        return result * 3
+
+    proc = env.process(parent())
+    env.run()
+    assert proc.value == 21
+
+
+def test_any_of_returns_first_event(env):
+    def waiter():
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(5.0, value="slow")
+        result = yield env.any_of([fast, slow])
+        return list(result.values())
+
+    proc = env.process(waiter())
+    env.run()
+    assert proc.value == ["fast"]
+    assert env.now == 5.0  # the slow timeout still fires eventually
+
+
+def test_all_of_waits_for_every_event(env):
+    def waiter():
+        events = [env.timeout(d, value=d) for d in (1.0, 2.0, 3.0)]
+        result = yield env.all_of(events)
+        return sorted(result.values())
+
+    proc = env.process(waiter())
+    env.run()
+    assert proc.value == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_the_clock(env):
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_in_the_past_rejected(env):
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_process_interrupt(env):
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause)
+        return "slept"
+
+    proc = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        proc.interrupt("wake up")
+
+    env.process(interrupter())
+    env.run(until=5.0)
+    assert proc.value == ("interrupted", "wake up")
+
+
+def test_store_fifo_order(env):
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+
+    def consumer():
+        first = yield store.get()
+        second = yield store.get()
+        return [first, second]
+
+    proc = env.process(consumer())
+    env.run()
+    assert proc.value == ["a", "b"]
+
+
+def test_store_predicate_skips_non_matching(env):
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    store.put(3)
+
+    def consumer():
+        even = yield store.get(lambda x: x % 2 == 0)
+        return even
+
+    proc = env.process(consumer())
+    env.run()
+    assert proc.value == 2
+    assert store.items == [1, 3]
+
+
+def test_store_getter_woken_by_later_put(env):
+    store = Store(env)
+
+    def consumer():
+        value = yield store.get()
+        return (env.now, value)
+
+    def producer():
+        yield env.timeout(2.0)
+        store.put("late")
+
+    proc = env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert proc.value == (2.0, "late")
+
+
+def test_store_try_get(env):
+    store = Store(env)
+    assert store.try_get() is None
+    store.put(5)
+    assert store.try_get(lambda x: x > 10) is None
+    assert store.try_get() == 5
+
+
+def test_resource_limits_concurrency(env):
+    resource = Resource(env, capacity=2)
+    running = []
+    peak = []
+
+    def job(job_id):
+        yield resource.acquire()
+        running.append(job_id)
+        peak.append(len(running))
+        yield env.timeout(1.0)
+        running.remove(job_id)
+        resource.release()
+
+    for job_id in range(5):
+        env.process(job(job_id))
+    env.run()
+    assert max(peak) == 2
+    assert env.now == pytest.approx(3.0)
+
+
+def test_resource_use_helper_releases_on_completion(env):
+    resource = Resource(env, capacity=1)
+
+    def job():
+        yield from resource.use(0.5)
+
+    env.process(job())
+    env.process(job())
+    env.run()
+    assert env.now == pytest.approx(1.0)
+    assert resource.in_use == 0
+
+
+def test_resource_release_without_acquire_rejected(env):
+    resource = Resource(env, capacity=1)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_resource_capacity_must_be_positive(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
