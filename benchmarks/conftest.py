@@ -3,15 +3,18 @@
 Every benchmark regenerates one table or figure of the paper at a reduced
 scale (short simulated duration, representative parameter subset), prints the
 resulting rows next to the paper's expectation and records the wall-clock cost
-of regenerating it through pytest-benchmark.  Set FIRELEDGER_BENCH_SCALE=full
-to run the paper's full grid (slow).
+of regenerating it through pytest-benchmark.  Drivers are resolved through
+:mod:`repro.experiments.registry` — the same front door the
+``python -m repro`` CLI uses — so each test names its experiment (``fig07``,
+``table1``, ...) instead of importing the driver function.  Set
+FIRELEDGER_BENCH_SCALE=full to run the paper's full grid (slow).
 """
 
 import os
 
 import pytest
 
-from repro.experiments import ExperimentScale, format_rows
+from repro.experiments import ExperimentScale, format_rows, registry
 
 
 @pytest.fixture(scope="session")
@@ -22,9 +25,15 @@ def bench_scale() -> ExperimentScale:
     return ExperimentScale.quick()
 
 
-def run_and_report(benchmark, driver, scale, title, **kwargs):
-    """Run an experiment driver once under pytest-benchmark and print its rows."""
-    rows = benchmark.pedantic(lambda: driver(scale, **kwargs), rounds=1, iterations=1)
-    print(f"\n=== {title} ===")
+def run_and_report(benchmark, experiment, scale, title=None, **kwargs):
+    """Run a registered experiment once under pytest-benchmark, print its rows.
+
+    ``experiment`` is a registry name (``"fig07"``) or a registered driver
+    callable; extra keyword arguments are forwarded to the driver.
+    """
+    spec = registry.resolve(experiment)
+    rows = benchmark.pedantic(lambda: spec.func(scale, **kwargs),
+                              rounds=1, iterations=1)
+    print(f"\n=== {title or spec.title} ===")
     print(format_rows(rows))
     return rows

@@ -1,11 +1,9 @@
 """Figure 5: signature generation rate on one VM."""
 
-from repro.experiments import figure05_signature_rate
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig05_signature_rate(benchmark, bench_scale):
     """Figure 5: signature generation rate on one VM."""
-    rows = run_and_report(benchmark, figure05_signature_rate, bench_scale, "Figure 5 - signatures/sec vs workers, batch and tx size")
+    rows = run_and_report(benchmark, "fig05", bench_scale)
     assert rows

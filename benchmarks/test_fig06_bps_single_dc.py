@@ -1,11 +1,9 @@
 """Figure 6: blocks/sec in a single data-center."""
 
-from repro.experiments import figure06_bps_single_dc
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig06_bps_single_dc(benchmark, bench_scale):
     """Figure 6: blocks/sec in a single data-center."""
-    rows = run_and_report(benchmark, figure06_bps_single_dc, bench_scale, "Figure 6 - bps vs workers (single DC)")
+    rows = run_and_report(benchmark, "fig06", bench_scale)
     assert rows

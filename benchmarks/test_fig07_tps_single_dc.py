@@ -1,11 +1,9 @@
 """Figure 7: transactions/sec across the Table 2 grid (single DC)."""
 
-from repro.experiments import figure07_tps_single_dc
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig07_tps_single_dc(benchmark, bench_scale):
     """Figure 7: transactions/sec across the Table 2 grid (single DC)."""
-    rows = run_and_report(benchmark, figure07_tps_single_dc, bench_scale, "Figure 7 - tps grid (single DC)")
+    rows = run_and_report(benchmark, "fig07", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 8: block delivery latency distribution (single DC)."""
 
-from repro.experiments import figure08_latency_cdf
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig08_latency_cdf(benchmark, bench_scale):
     """Figure 8: block delivery latency distribution (single DC)."""
-    rows = run_and_report(benchmark, figure08_latency_cdf, bench_scale, "Figure 8 - latency percentiles (single DC)")
+    rows = run_and_report(benchmark, "fig08", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 9: relative time between the A..E round events."""
 
-from repro.experiments import figure09_latency_breakdown
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig09_latency_breakdown(benchmark, bench_scale):
     """Figure 9: relative time between the A..E round events."""
-    rows = run_and_report(benchmark, figure09_latency_breakdown, bench_scale, "Figure 9 - latency breakdown heatmap rows")
+    rows = run_and_report(benchmark, "fig09", bench_scale)
     assert rows

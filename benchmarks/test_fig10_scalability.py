@@ -2,7 +2,7 @@
 
 import os
 
-from repro.experiments import ExperimentScale, figure10_scalability
+from repro.experiments import ExperimentScale
 
 from benchmarks.conftest import run_and_report
 
@@ -18,6 +18,6 @@ def test_fig10_scalability(benchmark, bench_scale):
     scale = ExperimentScale(duration=0.3, warmup=0.1, workers_sweep=(1,),
                             batch_sizes=(1000,) if not full else (10, 100, 1000),
                             tx_sizes=(512,))
-    rows = run_and_report(benchmark, figure10_scalability, scale,
+    rows = run_and_report(benchmark, "fig10", scale,
                           f"Figure 10 - scalability (n={n_nodes})", n_nodes=n_nodes)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 11: throughput under crash failures of f nodes."""
 
-from repro.experiments import figure11_crash_failures
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig11_crash_failures(benchmark, bench_scale):
     """Figure 11: throughput under crash failures of f nodes."""
-    rows = run_and_report(benchmark, figure11_crash_failures, bench_scale, "Figure 11 - crash failures")
+    rows = run_and_report(benchmark, "fig11", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 12: throughput and recovery rate under Byzantine equivocation."""
 
-from repro.experiments import figure12_byzantine_failures
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig12_byzantine_failures(benchmark, bench_scale):
     """Figure 12: throughput and recovery rate under Byzantine equivocation."""
-    rows = run_and_report(benchmark, figure12_byzantine_failures, bench_scale, "Figure 12 - Byzantine failures")
+    rows = run_and_report(benchmark, "fig12", bench_scale)
     assert rows

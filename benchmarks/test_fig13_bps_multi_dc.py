@@ -1,11 +1,9 @@
 """Figure 13: blocks/sec in the ten-region geo deployment."""
 
-from repro.experiments import figure13_bps_multi_dc
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig13_bps_multi_dc(benchmark, bench_scale):
     """Figure 13: blocks/sec in the ten-region geo deployment."""
-    rows = run_and_report(benchmark, figure13_bps_multi_dc, bench_scale, "Figure 13 - bps (geo-distributed)")
+    rows = run_and_report(benchmark, "fig13", bench_scale)
     assert rows

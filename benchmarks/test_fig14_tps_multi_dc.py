@@ -1,11 +1,9 @@
 """Figure 14: transactions/sec in the geo deployment."""
 
-from repro.experiments import figure14_tps_multi_dc
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig14_tps_multi_dc(benchmark, bench_scale):
     """Figure 14: transactions/sec in the geo deployment."""
-    rows = run_and_report(benchmark, figure14_tps_multi_dc, bench_scale, "Figure 14 - tps (geo-distributed)")
+    rows = run_and_report(benchmark, "fig14", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 15: block latency in the geo deployment."""
 
-from repro.experiments import figure15_latency_multi_dc
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig15_latency_multi_dc(benchmark, bench_scale):
     """Figure 15: block latency in the geo deployment."""
-    rows = run_and_report(benchmark, figure15_latency_multi_dc, bench_scale, "Figure 15 - latency (geo-distributed)")
+    rows = run_and_report(benchmark, "fig15", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 16: FLO vs HotStuff on c5.4xlarge machines."""
 
-from repro.experiments import figure16_vs_hotstuff
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig16_vs_hotstuff(benchmark, bench_scale):
     """Figure 16: FLO vs HotStuff on c5.4xlarge machines."""
-    rows = run_and_report(benchmark, figure16_vs_hotstuff, bench_scale, "Figure 16 - FLO vs HotStuff")
+    rows = run_and_report(benchmark, "fig16", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Figure 17: FLO vs BFT-SMaRt on c5.4xlarge machines."""
 
-from repro.experiments import figure17_vs_bftsmart
-
 from benchmarks.conftest import run_and_report
 
 
 def test_fig17_vs_bftsmart(benchmark, bench_scale):
     """Figure 17: FLO vs BFT-SMaRt on c5.4xlarge machines."""
-    rows = run_and_report(benchmark, figure17_vs_bftsmart, bench_scale, "Figure 17 - FLO vs BFT-SMaRt")
+    rows = run_and_report(benchmark, "fig17", bench_scale)
     assert rows

@@ -1,11 +1,9 @@
 """Table 1: per-mode communication, signature and latency costs."""
 
-from repro.experiments import table1_costs
-
 from benchmarks.conftest import run_and_report
 
 
 def test_table1_costs(benchmark, bench_scale):
     """Table 1: per-mode communication, signature and latency costs."""
-    rows = run_and_report(benchmark, table1_costs, bench_scale, "Table 1 - protocol costs per operating mode")
+    rows = run_and_report(benchmark, "table1", bench_scale)
     assert rows

@@ -12,6 +12,7 @@ Run with::
 """
 
 from repro import FireLedgerConfig, run_fireledger_cluster
+from repro.experiments import ExperimentScale, format_rows, registry
 
 
 def main() -> None:
@@ -40,6 +41,16 @@ def main() -> None:
     equivocations = attacked.nodes[3].workers[0].equivocations
     print(f"Node 3 equivocated {equivocations} times; every attack that reached a "
           f"correct node's chain was rolled back by the recovery procedure.")
+
+    # Figure 12 quantifies this trade-off over batch sizes; run one point of
+    # it through the registry (`python -m repro run fig12 --scale quick` for
+    # the recorded version, or `sweep` for the full grid).
+    spec = registry.get("fig12")
+    rows = spec.run(ExperimentScale(duration=0.8, warmup=0.15,
+                                    workers_sweep=(1,), cluster_sizes=(4,),
+                                    batch_sizes=(10, 1000), tx_sizes=(512,)))
+    print(f"\n{spec.title} (registry driver, two batch sizes):")
+    print(format_rows(rows))
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ import random
 from repro.core.config import FireLedgerConfig
 from repro.core.flo import FLONode
 from repro.crypto.keys import KeyStore
+from repro.experiments import ExperimentScale, format_rows, registry
 from repro.net.latency import GeoDistributedLatency
 from repro.net.network import Network
 from repro.sim import Environment
@@ -58,6 +59,16 @@ def main() -> None:
     print(f"  definite chain heights    : {heights}")
     print(f"  recoveries                : {sum(n.total_recoveries for n in nodes)} "
           f"(expected 0 — nobody misbehaved)")
+
+    # The saturated-geo-throughput version of this deployment is Figure 14;
+    # run one point through the registry (the CLI records the same thing with
+    # `python -m repro run fig14 --scale quick`).
+    spec = registry.get("fig14")
+    rows = spec.run(ExperimentScale(duration=0.4, warmup=0.1,
+                                    workers_sweep=(2,), cluster_sizes=(7,),
+                                    batch_sizes=(200,), tx_sizes=(1024,)))
+    print(f"\n{spec.title} (registry driver, this deployment's shape):")
+    print(format_rows(rows))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Run with::
 """
 
 from repro import FireLedgerConfig, run_fireledger_cluster
+from repro.experiments import ExperimentScale, format_rows, registry
 
 
 def main() -> None:
@@ -38,6 +39,16 @@ def main() -> None:
     for block in chain.definite_blocks[-3:]:
         print(f"  round {block.round_number:3d}  proposer {block.proposer}  "
               f"{block.tx_count} txs  digest {block.digest[:16]}…")
+
+    # The same measurement through the experiment registry — the front door
+    # the CLI uses.  `python -m repro run fig07 --scale quick` is this, plus
+    # a JSONL record under results/ that `python -m repro report` renders.
+    spec = registry.get("fig07")
+    rows = spec.run(ExperimentScale.quick(),
+                    axis_values={"cluster_size": (4,), "batch_size": (100,),
+                                 "workers": (2,)})
+    print(f"\n{spec.title} (registry driver, quick scale):")
+    print(format_rows(rows))
 
 
 if __name__ == "__main__":

@@ -1,4 +1,10 @@
-"""Setup shim: enables legacy editable installs where the `wheel` package is unavailable."""
+"""Setup shim for environments where PEP 660 editable installs are impossible.
+
+All package metadata lives in ``pyproject.toml``; normally you just
+``pip install -e .``.  This shim exists because pip's modern editable path
+requires the ``wheel`` package, and on an offline machine without it the only
+working editable install is the legacy ``python setup.py develop``.
+"""
 from setuptools import setup
 
 setup()

@@ -1,0 +1,276 @@
+"""Command-line front door: ``python -m repro`` / ``fireledger-repro``.
+
+Three subcommands turn the repo from a test suite into a drivable
+evaluation system:
+
+* ``run``    — execute one figure/table driver (or ``--all``) at a chosen
+  scale, print its rows and append them to the JSONL result store;
+* ``sweep``  — run a cartesian grid of configurations for one driver,
+  one JSONL record per grid point, resumable;
+* ``report`` — read the result store and regenerate EXPERIMENTS.md (and
+  optionally per-experiment CSVs) deterministically;
+* ``list``   — show every registered experiment and its sweepable axes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments import registry, sweep
+from repro.experiments.harness import ExperimentScale, format_rows
+from repro.metrics import report
+
+SCALES = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale,
+    "full": ExperimentScale.full,
+}
+
+# CLI flag -> canonical axis name (registry.AXES order).
+_AXIS_FLAGS = {
+    "cluster_sizes": registry.AXIS_CLUSTER,
+    "batch_sizes": registry.AXIS_BATCH,
+    "tx_sizes": registry.AXIS_TX,
+    "workers": registry.AXIS_WORKERS,
+}
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    """Parse ``"4,7,10"`` into ``(4, 7, 10)``."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}") from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default",
+                        help="preset experiment scale (default: default)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the simulation seed")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the simulated duration (seconds)")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="override the simulated warmup (seconds)")
+
+
+def _add_axis_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cluster-sizes", type=_int_list, default=None,
+                        metavar="N,N", help="cluster sizes, e.g. 4,7,10")
+    parser.add_argument("--batch-sizes", type=_int_list, default=None,
+                        metavar="B,B", help="block batch sizes, e.g. 10,1000")
+    parser.add_argument("--tx-sizes", type=_int_list, default=None,
+                        metavar="S,S", help="transaction sizes in bytes")
+    parser.add_argument("--workers", type=_int_list, default=None,
+                        metavar="W,W", help="FireLedger workers per node")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fireledger-repro",
+        description="Run, sweep and report the FireLedger paper experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run one experiment driver (or --all) and print its rows")
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="registry name, e.g. fig07 or table1 (see 'list')")
+    run.add_argument("--all", action="store_true", dest="run_all",
+                     help="run every registered experiment")
+    _add_scale_options(run)
+    _add_axis_options(run)
+    run.add_argument("--results-dir", default=sweep.RESULTS_DIR_DEFAULT,
+                     help="JSONL result store (default: results/)")
+    run.add_argument("--no-record", action="store_true",
+                     help="print only; do not append to the result store")
+    run.add_argument("--force", action="store_true",
+                     help="re-run and re-record even if this configuration "
+                          "is already in the result store")
+    run.add_argument("--markdown", action="store_true",
+                     help="print a markdown table instead of aligned text")
+
+    swp = sub.add_parser(
+        "sweep", help="run a cartesian grid for one driver, one JSONL "
+                      "record per configuration (resumable)")
+    swp.add_argument("experiment", help="registry name, e.g. fig10")
+    _add_scale_options(swp)
+    _add_axis_options(swp)
+    swp.add_argument("--seeds", type=_int_list, default=None, metavar="S,S",
+                     help="sweep over seeds as an extra grid axis")
+    swp.add_argument("--results-dir", default=sweep.RESULTS_DIR_DEFAULT,
+                     help="JSONL result store (default: results/)")
+    swp.add_argument("--fresh", action="store_true",
+                     help="do not skip configurations already recorded")
+
+    rep = sub.add_parser(
+        "report", help="render the result store as EXPERIMENTS.md")
+    rep.add_argument("--results-dir", default=sweep.RESULTS_DIR_DEFAULT,
+                     help="JSONL result store to read (default: results/)")
+    rep.add_argument("--output", default="EXPERIMENTS.md",
+                     help="markdown file to write (default: EXPERIMENTS.md)")
+    rep.add_argument("--csv-dir", default=None,
+                     help="also write one CSV per experiment into this dir")
+    rep.add_argument("--stdout", action="store_true",
+                     help="print the markdown instead of writing a file")
+
+    sub.add_parser("list", help="list registered experiments and their axes")
+    return parser
+
+
+def _resolve_scale(args: argparse.Namespace) -> ExperimentScale:
+    scale = SCALES[args.scale]()
+    overrides = {name: getattr(args, name)
+                 for name in ("seed", "duration", "warmup")
+                 if getattr(args, name) is not None}
+    return replace(scale, **overrides) if overrides else scale
+
+
+def _axis_values(args: argparse.Namespace) -> dict[str, tuple[int, ...]]:
+    values = {}
+    for flag, axis in _AXIS_FLAGS.items():
+        given = getattr(args, flag)
+        if given is not None:
+            values[axis] = given
+    return values
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    if args.run_all == (args.experiment is not None):
+        print("error: give exactly one experiment name, or --all", file=sys.stderr)
+        return 2
+    names = registry.names() if args.run_all else [args.experiment]
+    scale = _resolve_scale(args)
+    axis_values = _axis_values(args)
+    for name in names:
+        try:
+            spec = registry.get(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        applicable = axis_values
+        if args.run_all:
+            # With --all, apply each axis override only to the drivers that
+            # have that axis; table1 etc. run at their fixed configuration.
+            applicable = {axis: vals for axis, vals in axis_values.items()
+                          if axis in spec.axes}
+        try:
+            # Truncates past per-axis limits (e.g. fig10 consumes at most two
+            # worker counts), so the recorded parameters match what ran.
+            applicable = spec.normalize_axis_values(applicable)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Single-value overrides are recorded in the same scalar form the
+        # sweep engine uses, so a later sweep over that point resumes-skips.
+        params = {axis: (vals[0] if len(vals) == 1 else list(vals))
+                  for axis, vals in sorted(applicable.items())}
+        record_path = sweep.results_path(args.results_dir, spec.name)
+        cid = sweep.config_id(spec.name, scale, params)
+        if (not args.no_record and not args.force
+                and cid in sweep.recorded_ids(record_path)):
+            print(f"{spec.name}: already recorded at this configuration in "
+                  f"{record_path} (use --force to re-run)", file=out)
+            continue
+        started = time.perf_counter()
+        try:
+            rows = spec.run(scale, axis_values=applicable)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        print(f"=== {spec.title} ===", file=out)
+        renderer = report.markdown_table if args.markdown else format_rows
+        print(renderer(rows), file=out)
+        print(f"({len(rows)} rows, scale={args.scale}, seed={scale.seed}, "
+              f"{elapsed:.1f}s)", file=out)
+        if not args.no_record:
+            sweep.append_record(record_path, sweep.make_record(
+                spec, scale, args.scale, params, rows, elapsed_s=elapsed))
+            print(f"recorded -> {record_path}", file=out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    try:
+        spec = registry.get(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    axes = _axis_values(args)
+    if not axes and not args.seeds:
+        flags = " ".join(f"--{flag.replace('_', '-')}" for flag in _AXIS_FLAGS)
+        print(f"error: sweep needs at least one grid axis ({flags} or --seeds)",
+              file=sys.stderr)
+        return 2
+    scale = _resolve_scale(args)
+    try:
+        outcome = sweep.run_sweep(
+            spec, scale, axes, results_dir=args.results_dir,
+            scale_label=args.scale, seeds=args.seeds,
+            resume=not args.fresh,
+            progress=lambda msg: print(msg, file=out))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep {spec.name}: {outcome['ran']} ran, "
+          f"{outcome['skipped']} skipped -> {outcome['path']}", file=out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    results = report.load_results(args.results_dir)
+    text = report.render_experiments_md(results)
+    if args.stdout:
+        print(text, end="", file=out)
+    else:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} "
+              f"({len(results)} experiment(s) from {args.results_dir}/)", file=out)
+    if args.csv_dir:
+        for name, records in results.items():
+            report.write_csv(records, Path(args.csv_dir) / f"{name}.csv")
+        print(f"wrote {len(results)} CSV file(s) to {args.csv_dir}/", file=out)
+    return 0
+
+
+def _cmd_list(out) -> int:
+    rows = [{"name": spec.name,
+             "axes": ", ".join(sorted(spec.axes)) or "-",
+             "title": spec.title}
+            for spec in registry.specs()]
+    print(format_rows(rows, columns=["name", "axes", "title"]), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+    try:
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        if args.command == "report":
+            return _cmd_report(args, out)
+        if args.command == "list":
+            return _cmd_list(out)
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        # Point stdout at devnull so the interpreter's exit-time flush of the
+        # dead pipe can't raise again (which would turn exit 0 into 120).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

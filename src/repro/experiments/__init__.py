@@ -1,9 +1,14 @@
 """Experiment drivers: one function per table/figure of the paper's evaluation.
 
 Every driver takes a ``scale`` argument (default well below the paper's three
-minute runs) so the full suite finishes quickly on a laptop, and returns a list
-of result rows (plain dictionaries) that the benchmark harness prints next to
-the values reported in the paper.  EXPERIMENTS.md records a full run.
+minute runs) so the full suite finishes quickly on a laptop, and returns a
+list of result rows (plain dictionaries).  Drivers are looked up by short
+stable names (``table1``, ``fig05`` ... ``fig17``) through
+:mod:`repro.experiments.registry`, swept over parameter grids by
+:mod:`repro.experiments.sweep`, and driven from the command line via
+``python -m repro run|sweep|report``; ``EXPERIMENTS.md`` at the repo root is
+the rendered record of a recorded run (regenerate it with
+``python -m repro report``).
 """
 
 from repro.experiments.figures import (
@@ -23,10 +28,15 @@ from repro.experiments.figures import (
     table1_costs,
 )
 from repro.experiments.harness import ExperimentScale, format_rows
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments import registry, sweep
 
 __all__ = [
     "ExperimentScale",
+    "ExperimentSpec",
     "format_rows",
+    "registry",
+    "sweep",
     "table1_costs",
     "figure05_signature_rate",
     "figure06_bps_single_dc",

@@ -3,8 +3,11 @@
 Each function sweeps the relevant parameters, runs the simulated cluster and
 returns a list of plain-dict rows mirroring the quantity the paper plots.
 ``expectation`` strings summarise the shape the paper reports so that the
-benchmark output can be eyeballed against it; EXPERIMENTS.md records a full
-run side by side with the paper's numbers.
+benchmark output can be eyeballed against it.  Drivers are registered under
+short names (``fig05`` ... ``fig17``, ``table1``) in
+:mod:`repro.experiments.registry`; ``EXPERIMENTS.md`` at the repo root records
+a run side by side with the paper's numbers and is regenerated with
+``python -m repro report``.
 """
 
 from __future__ import annotations

@@ -34,7 +34,7 @@ class ExperimentScale:
 
     @classmethod
     def full(cls) -> "ExperimentScale":
-        """The paper's full grid (long; for EXPERIMENTS.md regeneration)."""
+        """The paper's full grid (long; ``python -m repro run --all --scale full``)."""
         return cls(duration=1.5, warmup=0.3, workers_sweep=(1, 2, 4, 8, 10),
                    cluster_sizes=(4, 7, 10), batch_sizes=(10, 100, 1000),
                    tx_sizes=(512, 1024, 4096))

@@ -1,0 +1,235 @@
+"""Registry of experiment drivers: name -> callable + parameter schema.
+
+Every table/figure driver in :mod:`repro.experiments.figures` is registered
+here under a short stable name (``table1``, ``fig05`` ... ``fig17``).  The
+registry is the single front door used by the CLI (``python -m repro``), the
+sweep engine, the pytest benchmarks and the examples, replacing the ad-hoc
+``figureNN_*`` naming convention as the way to find and run an experiment.
+
+Each :class:`ExperimentSpec` also declares which *axes* the driver can sweep
+(cluster size, batch size, transaction size, workers) and how a value on that
+axis reaches the driver: most drivers read the sweep tuples off
+:class:`~repro.experiments.harness.ExperimentScale`, but e.g. ``fig10`` takes
+``n_nodes`` as a scalar keyword and ``fig16``/``fig17`` take ``cluster_sizes``
+/ ``tx_sizes`` tuples directly.  The spec hides that difference so callers can
+say "cluster_size = 7" uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.harness import ExperimentScale
+
+# Canonical axis names, shared by the CLI flags and the sweep engine.
+AXIS_CLUSTER = "cluster_size"
+AXIS_BATCH = "batch_size"
+AXIS_TX = "tx_size"
+AXIS_WORKERS = "workers"
+AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS)
+
+
+@dataclass(frozen=True)
+class AxisBinding:
+    """How one sweep axis reaches a driver.
+
+    ``kind`` is ``"scale"`` (set the named tuple field on ``ExperimentScale``)
+    or ``"kwarg"`` (pass directly to the driver).  Keyword axes are scalar by
+    default (``fig10``'s ``n_nodes``); ``tuple_valued`` marks keywords that
+    expect the whole tuple (``fig16``'s ``cluster_sizes``).  ``limit`` caps
+    how many values the driver actually consumes (fig10/11/12 iterate
+    ``workers_sweep[:2]`` to bound cost), so overrides are truncated up front
+    and the recorded parameters match what really ran.
+    """
+
+    kind: str
+    target: str
+    tuple_valued: bool = False
+    limit: Optional[int] = None
+
+
+def _scale_axis(target: str) -> AxisBinding:
+    return AxisBinding(kind="scale", target=target)
+
+
+def _kwarg_axis(target: str, tuple_valued: bool = False) -> AxisBinding:
+    return AxisBinding(kind="kwarg", target=target, tuple_valued=tuple_valued)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A runnable, sweepable experiment driver."""
+
+    name: str
+    func: Callable[..., list]
+    title: str
+    axes: Mapping[str, AxisBinding] = field(default_factory=dict)
+
+    @property
+    def description(self) -> str:
+        """First docstring line of the underlying driver."""
+        doc = self.func.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+    def normalize_axis_values(
+            self, axis_values: Optional[Mapping[str, Sequence[int]]],
+    ) -> dict[str, tuple[int, ...]]:
+        """Validate axis names and truncate values past a binding's limit.
+
+        Returns the values that will actually reach the driver, which is what
+        callers should record.
+        """
+        normalized: dict[str, tuple[int, ...]] = {}
+        for axis, values in sorted((axis_values or {}).items()):
+            binding = self.axes.get(axis)
+            if binding is None:
+                supported = ", ".join(sorted(self.axes)) or "(none)"
+                raise ValueError(
+                    f"experiment {self.name!r} has no {axis!r} axis; "
+                    f"supported axes: {supported}")
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {axis!r} needs at least one value")
+            normalized[axis] = values[:binding.limit] if binding.limit else values
+        return normalized
+
+    def run(self, scale: Optional[ExperimentScale] = None,
+            axis_values: Optional[Mapping[str, Sequence[int]]] = None) -> list[dict]:
+        """Run the driver at ``scale`` with per-axis value overrides.
+
+        ``axis_values`` maps canonical axis names to the values to use.  Scale
+        axes replace the corresponding sweep tuple; scalar keyword axes run
+        the driver once per value and concatenate the rows.
+        """
+        scale = scale or ExperimentScale()
+        kwargs: dict = {}
+        scalar_axes: list[tuple[str, tuple]] = []
+        for axis, values in self.normalize_axis_values(axis_values).items():
+            binding = self.axes[axis]
+            if binding.kind == "scale":
+                scale = replace(scale, **{binding.target: values})
+            elif binding.tuple_valued:
+                kwargs[binding.target] = values
+            else:
+                scalar_axes.append((binding.target, values))
+        if not scalar_axes:
+            return self.func(scale, **kwargs)
+        rows: list[dict] = []
+        names = [name for name, _ in scalar_axes]
+        for combo in itertools.product(*(vals for _, vals in scalar_axes)):
+            rows.extend(self.func(scale, **kwargs, **dict(zip(names, combo))))
+        return rows
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+_BY_FUNC_NAME: dict[str, str] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"experiment {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    _BY_FUNC_NAME[spec.func.__name__] = spec.name
+    return spec
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up a spec by registry name (or by driver function name)."""
+    key = name if name in _REGISTRY else _BY_FUNC_NAME.get(name, name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"known: {', '.join(names())}") from None
+
+
+def names() -> list[str]:
+    """Registered experiment names, in paper order."""
+    return list(_REGISTRY)
+
+
+def specs() -> list[ExperimentSpec]:
+    return list(_REGISTRY.values())
+
+
+def resolve(driver: "str | Callable") -> ExperimentSpec:
+    """Accept either a registry name or a registered driver callable."""
+    if callable(driver):
+        return get(driver.__name__)
+    return get(driver)
+
+
+_CLUSTER_SCALE = {AXIS_CLUSTER: _scale_axis("cluster_sizes")}
+_BATCH_SCALE = {AXIS_BATCH: _scale_axis("batch_sizes")}
+_TX_SCALE = {AXIS_TX: _scale_axis("tx_sizes")}
+_WORKERS_SCALE = {AXIS_WORKERS: _scale_axis("workers_sweep")}
+# fig10/11/12 iterate workers_sweep[:2] to bound simulation cost.
+_WORKERS_SCALE_2 = {AXIS_WORKERS: AxisBinding(kind="scale",
+                                              target="workers_sweep", limit=2)}
+
+
+def _register_all() -> None:
+    register(ExperimentSpec(
+        name="table1", func=figures.table1_costs,
+        title="Table 1 — protocol costs per operating mode"))
+    register(ExperimentSpec(
+        name="fig05", func=figures.figure05_signature_rate,
+        title="Figure 5 — signature generation rate",
+        axes={**_BATCH_SCALE, **_TX_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig06", func=figures.figure06_bps_single_dc,
+        title="Figure 6 — blocks/sec, single data center",
+        axes={**_CLUSTER_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig07", func=figures.figure07_tps_single_dc,
+        title="Figure 7 — transactions/sec, single data center",
+        axes={**_CLUSTER_SCALE, **_BATCH_SCALE, **_TX_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig08", func=figures.figure08_latency_cdf,
+        title="Figure 8 — block delivery latency",
+        axes={**_CLUSTER_SCALE, **_BATCH_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig09", func=figures.figure09_latency_breakdown,
+        title="Figure 9 — latency breakdown across round events",
+        axes={**_CLUSTER_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig10", func=figures.figure10_scalability,
+        title="Figure 10 — scalability to large clusters",
+        axes={AXIS_CLUSTER: _kwarg_axis("n_nodes"),
+              **_BATCH_SCALE, **_WORKERS_SCALE_2}))
+    register(ExperimentSpec(
+        name="fig11", func=figures.figure11_crash_failures,
+        title="Figure 11 — throughput under crash failures",
+        axes={**_CLUSTER_SCALE, **_BATCH_SCALE, **_WORKERS_SCALE_2}))
+    register(ExperimentSpec(
+        name="fig12", func=figures.figure12_byzantine_failures,
+        title="Figure 12 — throughput under Byzantine equivocation",
+        axes={**_CLUSTER_SCALE, **_BATCH_SCALE, **_WORKERS_SCALE_2}))
+    register(ExperimentSpec(
+        name="fig13", func=figures.figure13_bps_multi_dc,
+        title="Figure 13 — blocks/sec, geo-distributed",
+        axes={**_CLUSTER_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig14", func=figures.figure14_tps_multi_dc,
+        title="Figure 14 — transactions/sec, geo-distributed",
+        axes={**_CLUSTER_SCALE, **_BATCH_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig15", func=figures.figure15_latency_multi_dc,
+        title="Figure 15 — block latency, geo-distributed",
+        axes={**_CLUSTER_SCALE, **_BATCH_SCALE, **_WORKERS_SCALE}))
+    register(ExperimentSpec(
+        name="fig16", func=figures.figure16_vs_hotstuff,
+        title="Figure 16 — FLO vs HotStuff",
+        axes={AXIS_CLUSTER: _kwarg_axis("cluster_sizes", tuple_valued=True),
+              AXIS_TX: _kwarg_axis("tx_sizes", tuple_valued=True)}))
+    register(ExperimentSpec(
+        name="fig17", func=figures.figure17_vs_bftsmart,
+        title="Figure 17 — FLO vs BFT-SMaRt",
+        axes={AXIS_CLUSTER: _kwarg_axis("cluster_sizes", tuple_valued=True),
+              AXIS_TX: _kwarg_axis("tx_sizes", tuple_valued=True)}))
+
+
+_register_all()

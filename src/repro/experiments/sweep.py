@@ -1,0 +1,136 @@
+"""Cartesian sweep engine with a resumable JSONL result store.
+
+A *sweep* runs one registered experiment over the cartesian product of axis
+values (``cluster_size``, ``batch_size``, ``tx_size``, ``workers``, plus one
+or more seeds), appending one JSON line per configuration to
+``<results_dir>/<experiment>.jsonl``.  Every record carries a ``config_id``
+— a hash of the experiment name, the fully-resolved scale and the grid point —
+so re-running the same sweep skips configurations that are already on disk,
+which makes long sweeps resumable and lets ``python -m repro report`` rebuild
+EXPERIMENTS.md deterministically from whatever has been recorded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import time
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.registry import ExperimentSpec
+
+RESULTS_DIR_DEFAULT = "results"
+
+
+def grid_points(axes: Mapping[str, Sequence]) -> Iterator[dict]:
+    """Yield the cartesian product of ``axes`` as dicts, in a stable order."""
+    if not axes:
+        yield {}
+        return
+    names = sorted(axes)
+    for combo in itertools.product(*(tuple(axes[name]) for name in names)):
+        yield dict(zip(names, combo))
+
+
+def config_id(experiment: str, scale: ExperimentScale, params: Mapping) -> str:
+    """Stable identifier of one configuration (experiment + scale + point)."""
+    payload = {"experiment": experiment, "scale": asdict(scale),
+               "params": dict(params)}
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=list).encode()).hexdigest()
+    return digest[:16]
+
+
+def results_path(results_dir: "str | Path", experiment: str) -> Path:
+    return Path(results_dir) / f"{experiment}.jsonl"
+
+
+def recorded_ids(path: "str | Path") -> set[str]:
+    """``config_id`` values already present in a JSONL result file."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    ids = set()
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ids.add(json.loads(line)["config_id"])
+            except (json.JSONDecodeError, KeyError):
+                continue  # tolerate a truncated trailing line from a crash
+    return ids
+
+
+def append_record(path: "str | Path", record: Mapping) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # No sort_keys: records are built in a fixed key order and sorting would
+    # also scramble the row columns, which the report preserves.
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, default=str) + "\n")
+
+
+def make_record(spec: ExperimentSpec, scale: ExperimentScale, scale_label: str,
+                params: Mapping, rows: Sequence[Mapping],
+                elapsed_s: Optional[float] = None) -> dict:
+    record = {
+        "experiment": spec.name,
+        "title": spec.title,
+        "config_id": config_id(spec.name, scale, params),
+        "scale": scale_label,
+        "seed": scale.seed,
+        "params": dict(params),
+        "rows": [dict(row) for row in rows],
+    }
+    if elapsed_s is not None:
+        record["elapsed_s"] = round(elapsed_s, 2)
+    return record
+
+
+def run_sweep(spec: ExperimentSpec,
+              scale: ExperimentScale,
+              axes: Mapping[str, Sequence[int]],
+              results_dir: "str | Path" = RESULTS_DIR_DEFAULT,
+              scale_label: str = "default",
+              seeds: Optional[Sequence[int]] = None,
+              resume: bool = True,
+              progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Run ``spec`` over the grid, streaming one JSONL record per point.
+
+    Returns ``{"ran": n, "skipped": n, "path": str}``.  With ``resume`` (the
+    default) grid points whose ``config_id`` is already in the result file are
+    skipped, so an interrupted sweep picks up where it left off.
+    """
+    # Unknown axes are rejected by spec.run on the first grid point, before
+    # anything is appended to the store — no pre-validation needed here.
+    path = results_path(results_dir, spec.name)
+    done = recorded_ids(path) if resume else set()
+    emit = progress or (lambda _msg: None)
+    ran = skipped = 0
+    for seed in (seeds if seeds else (scale.seed,)):
+        seeded = replace(scale, seed=seed)
+        for point in grid_points(axes):
+            params = dict(point)
+            if seeds:
+                params["seed"] = seed
+            cid = config_id(spec.name, seeded, params)
+            label = ", ".join(f"{k}={v}" for k, v in sorted(params.items())) or "(base)"
+            if cid in done:
+                skipped += 1
+                emit(f"skip {spec.name} [{label}] (already recorded)")
+                continue
+            started = time.perf_counter()
+            rows = spec.run(seeded, axis_values={k: (v,) for k, v in point.items()})
+            elapsed = time.perf_counter() - started
+            append_record(path, make_record(spec, seeded, scale_label, params,
+                                            rows, elapsed_s=elapsed))
+            done.add(cid)
+            ran += 1
+            emit(f"ran  {spec.name} [{label}] -> {len(rows)} rows in {elapsed:.1f}s")
+    return {"ran": ran, "skipped": skipped, "path": str(path)}

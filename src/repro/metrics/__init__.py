@@ -1,4 +1,9 @@
-"""Measurement plumbing: throughput, latency, per-round event breakdown."""
+"""Measurement plumbing: throughput, latency, per-round event breakdown.
+
+:mod:`repro.metrics.report` renders the JSONL result store written by
+``python -m repro run|sweep`` as markdown/CSV, including EXPERIMENTS.md.
+It is not re-exported here to keep importing the recorder cheap.
+"""
 
 from repro.metrics.recorder import (
     BLOCK_EVENTS,

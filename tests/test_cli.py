@@ -1,0 +1,193 @@
+"""Tests of the ``python -m repro`` command line (parsing and commands).
+
+Everything runs through :func:`repro.cli.main` with an explicit argv, using
+``fig05`` (the closed-form cost-model driver — no cluster simulation) so the
+whole file stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import _int_list, build_parser, main
+from repro.experiments import registry
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+def test_int_list_parses_commas():
+    assert _int_list("4,7,10") == (4, 7, 10)
+    assert _int_list("8") == (8,)
+
+
+def test_int_list_rejects_junk():
+    import argparse
+    with pytest.raises(argparse.ArgumentTypeError):
+        _int_list("4,seven")
+    with pytest.raises(argparse.ArgumentTypeError):
+        _int_list(",")
+
+
+def test_run_parser_collects_scale_and_axes():
+    args = build_parser().parse_args(
+        ["run", "fig07", "--scale", "quick", "--seed", "3",
+         "--cluster-sizes", "4,7", "--batch-sizes", "100",
+         "--tx-sizes", "512,1024", "--workers", "2"])
+    assert args.command == "run"
+    assert args.experiment == "fig07"
+    assert args.scale == "quick"
+    assert args.seed == 3
+    assert args.cluster_sizes == (4, 7)
+    assert args.batch_sizes == (100,)
+    assert args.tx_sizes == (512, 1024)
+    assert args.workers == (2,)
+
+
+def test_sweep_parser_accepts_seeds_axis():
+    args = build_parser().parse_args(
+        ["sweep", "fig10", "--cluster-sizes", "4,7", "--seeds", "1,2"])
+    assert args.command == "sweep"
+    assert args.seeds == (1, 2)
+    assert args.fresh is False
+
+
+def test_report_parser_defaults():
+    args = build_parser().parse_args(["report"])
+    assert args.results_dir == "results"
+    assert args.output == "EXPERIMENTS.md"
+
+
+# ---------------------------------------------------------------------------
+# Commands end to end (cheap drivers only)
+# ---------------------------------------------------------------------------
+def test_list_shows_every_registered_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in registry.names():
+        assert name in out
+
+
+def test_run_prints_rows_and_records(tmp_path, capsys):
+    rc = main(["run", "fig05", "--scale", "quick",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "sps" in out
+    lines = (tmp_path / "fig05.jsonl").read_text().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["experiment"] == "fig05"
+    assert record["scale"] == "quick"
+    assert record["rows"]
+
+
+def test_run_skips_already_recorded_configuration(tmp_path, capsys):
+    argv = ["run", "fig05", "--scale", "quick", "--results-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert main(argv) == 0
+    assert "already recorded" in capsys.readouterr().out
+    assert len((tmp_path / "fig05.jsonl").read_text().splitlines()) == 1
+    assert main(argv + ["--force"]) == 0
+    assert len((tmp_path / "fig05.jsonl").read_text().splitlines()) == 2
+
+
+def test_run_no_record_leaves_store_untouched(tmp_path, capsys):
+    rc = main(["run", "fig05", "--scale", "quick", "--no-record",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    assert not (tmp_path / "fig05.jsonl").exists()
+
+
+def test_run_applies_axis_overrides(tmp_path, capsys):
+    rc = main(["run", "fig05", "--scale", "quick", "--no-record",
+               "--batch-sizes", "10", "--tx-sizes", "512",
+               "--workers", "1", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "(1 rows" in out  # 1 batch x 1 tx size x 1 worker count
+
+
+def test_run_unknown_experiment_fails(tmp_path, capsys):
+    rc = main(["run", "fig99", "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_unsupported_axis_fails(tmp_path, capsys):
+    # fig05 is a single-VM cost model: it has no cluster_size axis.
+    rc = main(["run", "fig05", "--cluster-sizes", "4", "--no-record",
+               "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "no 'cluster_size' axis" in capsys.readouterr().err
+
+
+def test_run_single_value_override_matches_sweep_point(tmp_path, capsys):
+    """A one-point `run` and a one-point `sweep` share a config_id."""
+    assert main(["run", "fig05", "--scale", "quick", "--batch-sizes", "10",
+                 "--results-dir", str(tmp_path)]) == 0
+    assert main(["sweep", "fig05", "--scale", "quick", "--batch-sizes", "10",
+                 "--results-dir", str(tmp_path)]) == 0
+    assert "0 ran, 1 skipped" in capsys.readouterr().out
+
+
+def test_run_all_skips_inapplicable_axes(tmp_path, capsys):
+    # table1 has no batch_size axis; --all must not abort on it.  Restrict
+    # every other axis to keep the cluster drivers tiny and fast.
+    rc = main(["run", "--all", "--scale", "quick", "--no-record",
+               "--duration", "0.2", "--warmup", "0.05",
+               "--cluster-sizes", "4", "--batch-sizes", "10",
+               "--tx-sizes", "512", "--workers", "1",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Figure 17" in out
+
+
+def test_run_requires_exactly_one_target(tmp_path, capsys):
+    assert main(["run", "--results-dir", str(tmp_path)]) == 2
+    assert main(["run", "fig05", "--all", "--results-dir", str(tmp_path)]) == 2
+
+
+def test_sweep_requires_an_axis(tmp_path, capsys):
+    rc = main(["sweep", "fig05", "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "at least one grid axis" in capsys.readouterr().err
+
+
+def test_sweep_runs_grid_and_resumes(tmp_path, capsys):
+    argv = ["sweep", "fig05", "--scale", "quick",
+            "--batch-sizes", "10,100", "--workers", "1",
+            "--results-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "2 ran, 0 skipped" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "0 ran, 2 skipped" in capsys.readouterr().out
+    records = [json.loads(line) for line
+               in (tmp_path / "fig05.jsonl").read_text().splitlines()]
+    assert {r["params"]["batch_size"] for r in records} == {10, 100}
+
+
+def test_report_writes_markdown_and_csv(tmp_path, capsys):
+    results = tmp_path / "results"
+    assert main(["run", "fig05", "--scale", "quick",
+                 "--results-dir", str(results)]) == 0
+    output = tmp_path / "EXPERIMENTS.md"
+    csv_dir = tmp_path / "csv"
+    rc = main(["report", "--results-dir", str(results),
+               "--output", str(output), "--csv-dir", str(csv_dir)])
+    assert rc == 0
+    text = output.read_text()
+    assert "# FireLedger — Experiment Results" in text
+    assert "Figure 5" in text
+    assert "| batch_size |" in text
+    csv_text = (csv_dir / "fig05.csv").read_text()
+    assert csv_text.splitlines()[0].startswith("batch_size,")
+
+
+def test_report_stdout_mode(tmp_path, capsys):
+    rc = main(["report", "--results-dir", str(tmp_path), "--stdout"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "no results recorded yet" in out

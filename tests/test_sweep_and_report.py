@@ -1,0 +1,260 @@
+"""Tests of the driver registry, the sweep engine and the report renderer."""
+
+import inspect
+import json
+
+import pytest
+
+from repro.experiments import figures, registry
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.sweep import (
+    append_record,
+    config_id,
+    grid_points,
+    make_record,
+    recorded_ids,
+    results_path,
+    run_sweep,
+)
+from repro.metrics import report
+
+TINY = ExperimentScale(duration=0.3, warmup=0.05, workers_sweep=(1,),
+                       cluster_sizes=(4,), batch_sizes=(10,), tx_sizes=(512,))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_registry_covers_every_driver_in_figures():
+    """Every ``figureNN_*``/``table1`` driver must be registered."""
+    drivers = {name for name, obj in inspect.getmembers(figures, inspect.isfunction)
+               if name.startswith("figure") or name.startswith("table")}
+    registered = {spec.func.__name__ for spec in registry.specs()}
+    assert drivers == registered
+
+
+def test_registry_lookup_by_name_and_function_name():
+    spec = registry.get("fig07")
+    assert spec.func is figures.figure07_tps_single_dc
+    assert registry.get("figure07_tps_single_dc") is spec
+    assert registry.resolve(figures.figure07_tps_single_dc) is spec
+
+
+def test_registry_unknown_name_raises_with_suggestions():
+    with pytest.raises(KeyError, match="fig07"):
+        registry.get("nope")
+
+
+def test_spec_metadata_is_usable():
+    for spec in registry.specs():
+        assert spec.title
+        assert spec.description
+        for axis in spec.axes:
+            assert axis in registry.AXES
+
+
+def test_spec_run_scale_axis_override():
+    rows = registry.get("fig05").run(
+        TINY, axis_values={"batch_size": (10, 100), "workers": (1, 2)})
+    assert {(r["batch_size"], r["workers"]) for r in rows} == \
+        {(10, 1), (10, 2), (100, 1), (100, 2)}
+
+
+def test_spec_run_scalar_kwarg_axis_concatenates():
+    # fig10 takes n_nodes as a scalar keyword; two values -> two runs merged.
+    scale = ExperimentScale(duration=0.2, warmup=0.05, workers_sweep=(1,),
+                            batch_sizes=(100,), tx_sizes=(512,))
+    rows = registry.get("fig10").run(scale, axis_values={"cluster_size": (4, 7)})
+    assert {row["n"] for row in rows} == {4, 7}
+
+
+def test_spec_normalize_truncates_past_axis_limit():
+    # fig10's driver consumes at most two worker counts (workers_sweep[:2]);
+    # the binding's limit makes the recorded override match what runs.
+    spec = registry.get("fig10")
+    normalized = spec.normalize_axis_values({"workers": (1, 4, 8)})
+    assert normalized["workers"] == (1, 4)
+    scale = ExperimentScale(duration=0.2, warmup=0.05, workers_sweep=(1,),
+                            batch_sizes=(100,), tx_sizes=(512,))
+    rows = spec.run(scale, axis_values={"cluster_size": (4,),
+                                        "workers": (1, 4, 8)})
+    assert {row["workers"] for row in rows} == {1, 4}
+
+
+def test_spec_run_rejects_unknown_axis():
+    with pytest.raises(ValueError, match="no 'cluster_size' axis"):
+        registry.get("fig05").run(TINY, axis_values={"cluster_size": (4,)})
+
+
+# ---------------------------------------------------------------------------
+# Sweep engine
+# ---------------------------------------------------------------------------
+def test_grid_points_cartesian_and_stable_order():
+    points = list(grid_points({"b": [1, 2], "a": [10]}))
+    assert points == [{"a": 10, "b": 1}, {"a": 10, "b": 2}]
+    assert list(grid_points({})) == [{}]
+
+
+def test_config_id_depends_on_scale_and_params():
+    base = config_id("fig05", TINY, {"batch_size": 10})
+    assert base == config_id("fig05", TINY, {"batch_size": 10})
+    assert base != config_id("fig05", TINY, {"batch_size": 100})
+    assert base != config_id("fig06", TINY, {"batch_size": 10})
+    assert base != config_id("fig05", ExperimentScale.quick(), {"batch_size": 10})
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = results_path(tmp_path, "fig05")
+    spec = registry.get("fig05")
+    record = make_record(spec, TINY, "tiny", {"batch_size": 10},
+                         [{"sps": 1.0, "workers": 1}], elapsed_s=0.1234)
+    append_record(path, record)
+    append_record(path, make_record(spec, TINY, "tiny", {"batch_size": 100},
+                                    [{"sps": 2.0, "workers": 1}]))
+    loaded = [json.loads(line) for line in path.read_text().splitlines()]
+    assert loaded[0]["config_id"] == config_id("fig05", TINY, {"batch_size": 10})
+    assert loaded[0]["rows"] == [{"sps": 1.0, "workers": 1}]
+    assert loaded[0]["elapsed_s"] == 0.12
+    assert recorded_ids(path) == {r["config_id"] for r in loaded}
+    # Column order of the rows survives the disk round-trip.
+    assert list(loaded[0]["rows"][0]) == ["sps", "workers"]
+
+
+def test_recorded_ids_tolerates_truncated_tail(tmp_path):
+    path = results_path(tmp_path, "fig05")
+    append_record(path, make_record(registry.get("fig05"), TINY, "tiny",
+                                    {}, [{"sps": 1.0}]))
+    with path.open("a") as handle:
+        handle.write('{"experiment": "fig05", "config_id": "abc')  # crash mid-write
+    assert len(recorded_ids(path)) == 1
+
+
+def test_run_sweep_records_and_resumes(tmp_path):
+    spec = registry.get("fig05")
+    axes = {"batch_size": (10, 100), "tx_size": (512,)}
+    first = run_sweep(spec, TINY, axes, results_dir=tmp_path, scale_label="tiny")
+    assert first["ran"] == 2 and first["skipped"] == 0
+    again = run_sweep(spec, TINY, axes, results_dir=tmp_path, scale_label="tiny")
+    assert again["ran"] == 0 and again["skipped"] == 2
+    wider = dict(axes, batch_size=(10, 100, 1000))
+    resumed = run_sweep(spec, TINY, wider, results_dir=tmp_path, scale_label="tiny")
+    assert resumed["ran"] == 1 and resumed["skipped"] == 2
+
+
+def test_run_sweep_seeds_are_an_axis(tmp_path):
+    spec = registry.get("fig05")
+    outcome = run_sweep(spec, TINY, {"batch_size": (10,)}, results_dir=tmp_path,
+                        scale_label="tiny", seeds=(1, 2))
+    assert outcome["ran"] == 2
+    records = [json.loads(line) for line
+               in results_path(tmp_path, "fig05").read_text().splitlines()]
+    assert {r["seed"] for r in records} == {1, 2}
+    assert all(r["params"]["seed"] == r["seed"] for r in records)
+
+
+def test_run_sweep_rejects_unsupported_axis(tmp_path):
+    with pytest.raises(ValueError, match="no 'cluster_size' axis"):
+        run_sweep(registry.get("fig05"), TINY, {"cluster_size": (4,)},
+                  results_dir=tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Report rendering (canned result set — no simulation)
+# ---------------------------------------------------------------------------
+def _canned_results_dir(tmp_path):
+    results = tmp_path / "results"
+    spec = registry.get("fig10")
+    for n, tps in ((4, 1000.0), (7, 800.0)):
+        append_record(results_path(results, "fig10"),
+                      make_record(spec, TINY, "tiny", {"cluster_size": n},
+                                  [{"n": n, "tps": tps,
+                                    "expectation": "same note"}]))
+    append_record(results_path(results, "mystery"),
+                  {"experiment": "mystery", "config_id": "x", "scale": "tiny",
+                   "seed": 7, "params": {}, "rows": [{"value": 1}]})
+    return results
+
+
+def test_markdown_table_shape():
+    table = report.markdown_table([{"a": 1, "b": 2.5}, {"a": 10, "b": None}])
+    lines = table.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2.5 |"
+    assert lines[3] == "| 10 | - |"
+    assert report.markdown_table([]) == "*(no rows)*"
+
+
+def test_report_merges_params_and_factors_out_expectation(tmp_path):
+    results = _canned_results_dir(tmp_path)
+    text = report.render_experiments_md(report.load_results(results))
+    assert "## Figure 10 — scalability to large clusters" in text
+    # The rows' own 'n' column already shows the swept cluster size, so the
+    # grid param is not repeated as a duplicate leading column.
+    assert "| n | tps |" in text
+    assert "cluster_size" not in text
+    assert "Paper expectation: same note." in text
+    assert "| same note |" not in text      # ...and is not repeated per row
+    assert "## mystery" in text             # unknown experiments still render
+
+
+def test_report_is_deterministic_and_order_independent(tmp_path):
+    results = _canned_results_dir(tmp_path)
+    first = report.render_experiments_md(report.load_results(results))
+    second = report.render_experiments_md(report.load_results(results))
+    assert first == second
+    # Rewriting the same records in reverse order changes nothing.
+    path = results_path(results, "fig10")
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(reversed(lines)) + "\n")
+    assert report.render_experiments_md(report.load_results(results)) == first
+
+
+def test_markdown_table_renders_non_finite_floats():
+    # fig16/fig17 record inf speedups when a baseline delivers zero tps.
+    table = report.markdown_table([{"speedup": float("inf"),
+                                    "ratio": float("nan")}])
+    assert "| inf | nan |" in table
+
+
+def test_report_orders_grid_params_numerically(tmp_path):
+    results = tmp_path / "results"
+    spec = registry.get("fig10")
+    for n in (10, 4, 7):
+        append_record(results_path(results, "fig10"),
+                      make_record(spec, TINY, "tiny", {"cluster_size": n},
+                                  [{"n": n, "tps": 1.0}]))
+    rows = report.merged_rows(report.load_results(results)["fig10"])
+    assert [row["n"] for row in rows] == [4, 7, 10]
+
+
+def test_report_dedups_forced_reruns_keeping_last(tmp_path):
+    results = tmp_path / "results"
+    spec = registry.get("fig05")
+    path = results_path(results, "fig05")
+    append_record(path, make_record(spec, TINY, "tiny", {}, [{"sps": 1.0}]))
+    append_record(path, make_record(spec, TINY, "tiny", {}, [{"sps": 2.0}]))
+    loaded = report.load_results(results)
+    assert len(loaded["fig05"]) == 1
+    assert loaded["fig05"][0]["rows"] == [{"sps": 2.0}]
+
+
+def test_report_multi_value_run_params_do_not_shadow_row_columns(tmp_path):
+    results = tmp_path / "results"
+    spec = registry.get("fig05")
+    append_record(results_path(results, "fig05"),
+                  make_record(spec, TINY, "tiny", {"batch_size": [10, 1000]},
+                              [{"batch_size": 10, "sps": 1.0},
+                               {"batch_size": 1000, "sps": 2.0}]))
+    rows = report.merged_rows(report.load_results(results)["fig05"])
+    assert [row["batch_size"] for row in rows] == [10, 1000]
+
+
+def test_report_csv_round_trip(tmp_path):
+    results = _canned_results_dir(tmp_path)
+    loaded = report.load_results(results)
+    out = tmp_path / "fig10.csv"
+    report.write_csv(loaded["fig10"], out)
+    lines = out.read_text().splitlines()
+    assert lines[0].split(",")[0] == "n"
+    assert len(lines) == 3
