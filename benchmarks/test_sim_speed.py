@@ -1,0 +1,18 @@
+"""Simulator wall-clock microbenchmark (the ``simspeed`` driver).
+
+Times the expensive fig10 large-n grid point and a pure broadcast storm on
+the host machine, through the same registry front door as the figure
+benchmarks.  ``python -m repro run simspeed`` records the same rows into
+``results/simspeed.jsonl``; the committed ``pre-pr-baseline`` rows there are
+the reference the hot-path speedup is measured against.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_sim_speed(benchmark, bench_scale):
+    """Simulator hot-path wall-clock: fig10 large-n point + broadcast storm."""
+    rows = run_and_report(benchmark, "simspeed", bench_scale,
+                          n_nodes=40, repeats=1)
+    assert {row["case"] for row in rows} == {"fig10_large_n", "broadcast_storm"}
+    assert all(row["wall_s"] > 0 for row in rows)

@@ -22,7 +22,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.experiments import registry, sweep
+from repro.experiments import parallel, registry, sweep
 from repro.experiments.harness import ExperimentScale, format_rows
 from repro.metrics import report
 
@@ -64,6 +64,13 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
                         help="override the simulated warmup (seconds)")
 
 
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1 = serial); "
+                             "results are merged and deduplicated by "
+                             "config_id, so resume works as in serial mode")
+
+
 def _add_axis_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cluster-sizes", type=_int_list, default=None,
                         metavar="N,N", help="cluster sizes, e.g. 4,7,10")
@@ -89,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run every registered experiment")
     _add_scale_options(run)
     _add_axis_options(run)
+    _add_jobs_option(run)
     run.add_argument("--results-dir", default=sweep.RESULTS_DIR_DEFAULT,
                      help="JSONL result store (default: results/)")
     run.add_argument("--no-record", action="store_true",
@@ -105,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("experiment", help="registry name, e.g. fig10")
     _add_scale_options(swp)
     _add_axis_options(swp)
+    _add_jobs_option(swp)
     swp.add_argument("--seeds", type=_int_list, default=None, metavar="S,S",
                      help="sweep over seeds as an extra grid axis")
     swp.add_argument("--results-dir", default=sweep.RESULTS_DIR_DEFAULT,
@@ -151,6 +160,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     names = registry.names() if args.run_all else [args.experiment]
     scale = _resolve_scale(args)
     axis_values = _axis_values(args)
+    plan: list[tuple] = []
     for name in names:
         try:
             spec = registry.get(name)
@@ -181,13 +191,32 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             print(f"{spec.name}: already recorded at this configuration in "
                   f"{record_path} (use --force to re-run)", file=out)
             continue
-        started = time.perf_counter()
+        plan.append((spec, applicable, params, record_path))
+
+    precomputed: dict = {}
+    if args.jobs > 1 and len(plan) > 1:
+        # Wall-clock benchmarks (simspeed) stay out of the pool: timing them
+        # while sibling workers saturate the cores would record inflated
+        # numbers as real data.  They run inline in the loop below instead.
+        poolable = [(spec.name, scale, applicable)
+                    for spec, applicable, _, _ in plan if not spec.wall_clock]
         try:
-            rows = spec.run(scale, axis_values=applicable)
+            precomputed = parallel.run_specs(poolable, jobs=args.jobs)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        elapsed = time.perf_counter() - started
+
+    for spec, applicable, params, record_path in plan:
+        if spec.name in precomputed:
+            rows, elapsed = precomputed[spec.name]
+        else:
+            started = time.perf_counter()
+            try:
+                rows = spec.run(scale, axis_values=applicable)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            elapsed = time.perf_counter() - started
         print(f"=== {spec.title} ===", file=out)
         renderer = report.markdown_table if args.markdown else format_rows
         print(renderer(rows), file=out)
@@ -213,12 +242,30 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
               file=sys.stderr)
         return 2
     scale = _resolve_scale(args)
+    progress = lambda msg: print(msg, file=out)  # noqa: E731
+    jobs = args.jobs
+    if jobs > 1 and spec.wall_clock:
+        # Timing the simulator while sibling workers saturate the cores
+        # would record inflated wall-clock rows as real data.
+        print(f"note: {spec.name} measures host wall-clock time; "
+              f"running serially despite --jobs {jobs}", file=out)
+        jobs = 1
     try:
-        outcome = sweep.run_sweep(
-            spec, scale, axes, results_dir=args.results_dir,
-            scale_label=args.scale, seeds=args.seeds,
-            resume=not args.fresh,
-            progress=lambda msg: print(msg, file=out))
+        if jobs > 1:
+            outcome = parallel.run_parallel_sweep(
+                spec, scale, axes, results_dir=args.results_dir,
+                scale_label=args.scale, seeds=args.seeds,
+                resume=not args.fresh, jobs=jobs, progress=progress)
+        else:
+            # Fold in any orphan shards an interrupted parallel sweep left
+            # behind before the serial engine computes its resume set.
+            merged = parallel.merge_shards(args.results_dir, spec.name)
+            if merged:
+                progress(f"merged {merged} record(s) from interrupted shards")
+            outcome = sweep.run_sweep(
+                spec, scale, axes, results_dir=args.results_dir,
+                scale_label=args.scale, seeds=args.seeds,
+                resume=not args.fresh, progress=progress)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -123,6 +123,12 @@ class ProtocolContext:
         panic = self._pending_interrupt()
         if panic:
             raise PanicInterrupt(panic)
+        message = self.inbox.try_get(predicate)
+        if message is not None:
+            # Fast path: the message is already buffered — skip the
+            # get-event/AnyOf/timeout machinery entirely.
+            yield from self.use_cpu(self.network.machine.message_processing_cpu)
+            return message
         deadline = None if timeout is None else self.env.now + timeout
         while True:
             get_event = self.inbox.get(predicate)

@@ -82,10 +82,18 @@ MACHINE_PRESETS = {spec.name: spec for spec in (M5_XLARGE, C5_4XLARGE)}
 
 
 class CryptoCostModel:
-    """Computes simulated CPU durations for hashing, signing and verifying."""
+    """Computes simulated CPU durations for hashing, signing and verifying.
+
+    Block-level lookups are memoised per ``(batch_size, tx_size)``: the
+    protocol hot loop asks for the same handful of block shapes millions of
+    times per run, and the model's inputs are immutable (``MachineSpec`` is a
+    frozen dataclass), so the cache never goes stale.
+    """
 
     def __init__(self, machine: MachineSpec = M5_XLARGE) -> None:
         self.machine = machine
+        self._block_sign_cache: dict[tuple[int, int], float] = {}
+        self._block_verify_cache: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------- primitives
     def hash_time(self, size_bytes: int) -> float:
@@ -105,11 +113,19 @@ class CryptoCostModel:
     # --------------------------------------------------------------- blocks
     def block_sign_time(self, batch_size: int, tx_size: int) -> float:
         """``t_sign`` for a block of ``batch_size`` transactions of ``tx_size`` bytes."""
-        return self.sign_time(batch_size * tx_size)
+        key = (batch_size, tx_size)
+        cached = self._block_sign_cache.get(key)
+        if cached is None:
+            cached = self._block_sign_cache[key] = self.sign_time(batch_size * tx_size)
+        return cached
 
     def block_verify_time(self, batch_size: int, tx_size: int) -> float:
         """Verification counterpart of :meth:`block_sign_time`."""
-        return self.verify_time(batch_size * tx_size)
+        key = (batch_size, tx_size)
+        cached = self._block_verify_cache.get(key)
+        if cached is None:
+            cached = self._block_verify_cache[key] = self.verify_time(batch_size * tx_size)
+        return cached
 
     # ------------------------------------------------------------- figure 5
     def signatures_per_second(self, batch_size: int, tx_size: int, workers: int) -> float:

@@ -1,0 +1,227 @@
+"""Multi-process sweep executor with crash-safe JSONL shards.
+
+``repro sweep --jobs N`` dispatches grid points to a ``multiprocessing``
+worker pool instead of running them serially.  Each worker streams every
+finished configuration to its *own* shard file under
+``<results_dir>/.shards/`` (one wrapper line ``{"idx": ..., "record": ...}``
+per configuration, appended and flushed per task), and the parent merges the
+shards into the canonical ``<results_dir>/<experiment>.jsonl`` — deduplicated
+by ``config_id`` and ordered by the deterministic grid-enumeration index, so
+a from-scratch parallel sweep produces the same merged file regardless of
+which worker finished first.
+
+Crash and resume semantics match the serial engine:
+
+* the canonical file is only ever appended to by the parent, after the pool
+  has drained (or failed) — concurrent workers never touch it;
+* a worker crash loses at most the configuration it was computing; everything
+  it already wrote to its shard is merged by the parent's ``finally``;
+* a parent crash leaves orphan shards behind, which the next sweep (parallel
+  or not — the CLI always sweeps through :func:`merge_shards` first) folds in
+  before computing the resume set, so finished work is never re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.experiments import registry
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.sweep import (
+    RESULTS_DIR_DEFAULT,
+    config_id,
+    grid_points,
+    make_record,
+    recorded_ids,
+    results_path,
+)
+
+SHARD_DIR_NAME = ".shards"
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, Linux) and fall back to ``spawn`` elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def shard_dir(results_dir: "str | Path") -> Path:
+    return Path(results_dir) / SHARD_DIR_NAME
+
+
+def _shard_files(results_dir: "str | Path", experiment: str) -> list[Path]:
+    directory = shard_dir(results_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"{experiment}.*.jsonl"))
+
+
+def merge_shards(results_dir: "str | Path", experiment: str,
+                 dedup_against_canonical: bool = True) -> int:
+    """Fold worker shards into the canonical JSONL; returns records merged.
+
+    Shard records are appended in grid-enumeration (``idx``) order and
+    deduplicated by ``config_id`` against each other — and, by default,
+    against the canonical file — so merging is idempotent and the merged
+    file is stable across reruns.  A ``--fresh`` sweep passes
+    ``dedup_against_canonical=False``: its recomputed records share their
+    ``config_id`` with existing ones and must still be appended (the report
+    renderer keeps the last record per id, as with a serial re-run).
+    Shard files are deleted once folded in; a truncated trailing line (worker
+    killed mid-write) is silently discarded.
+    """
+    shards = _shard_files(results_dir, experiment)
+    if not shards:
+        return 0
+    path = results_path(results_dir, experiment)
+    seen = recorded_ids(path) if dedup_against_canonical else set()
+    pending: list[tuple[int, dict]] = []
+    for shard in shards:
+        with shard.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    wrapper = json.loads(line)
+                    record = wrapper["record"]
+                    cid = record["config_id"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # truncated or foreign line
+                if cid in seen:
+                    continue
+                seen.add(cid)
+                pending.append((wrapper.get("idx", 1 << 30), record))
+    pending.sort(key=lambda item: item[0])
+    if pending:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as handle:
+            for _idx, record in pending:
+                handle.write(json.dumps(record, default=str) + "\n")
+    for shard in shards:
+        shard.unlink(missing_ok=True)
+    try:
+        shard_dir(results_dir).rmdir()
+    except OSError:
+        pass  # non-empty (another experiment's shards) or already gone
+    return len(pending)
+
+
+def _run_sweep_task(task: tuple) -> tuple[int, str, int, float, str]:
+    """Worker body: run one grid point, append it to this worker's shard."""
+    idx, spec_name, scale, point, params, scale_label, shard_base = task
+    spec = registry.get(spec_name)
+    started = time.perf_counter()
+    rows = spec.run(scale, axis_values={k: (v,) for k, v in point.items()})
+    elapsed = time.perf_counter() - started
+    record = make_record(spec, scale, scale_label, params, rows,
+                         elapsed_s=elapsed)
+    shard = Path(shard_base) / f"{spec_name}.{os.getpid()}.jsonl"
+    shard.parent.mkdir(parents=True, exist_ok=True)
+    with shard.open("a") as handle:
+        handle.write(json.dumps({"idx": idx, "record": record},
+                                default=str) + "\n")
+        handle.flush()
+    label = ", ".join(f"{k}={v}" for k, v in sorted(params.items())) or "(base)"
+    return idx, record["config_id"], len(rows), elapsed, label
+
+
+def run_parallel_sweep(spec: ExperimentSpec,
+                       scale: ExperimentScale,
+                       axes: Mapping[str, Sequence[int]],
+                       results_dir: "str | Path" = RESULTS_DIR_DEFAULT,
+                       scale_label: str = "default",
+                       seeds: Optional[Sequence[int]] = None,
+                       resume: bool = True,
+                       jobs: int = 2,
+                       progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Parallel counterpart of :func:`repro.experiments.sweep.run_sweep`.
+
+    Same contract and return value (``{"ran": n, "skipped": n, "path": str}``);
+    grid points run on ``jobs`` worker processes.  Orphan shards from an
+    interrupted earlier run are merged before the resume set is computed.
+    """
+    # Surface unknown-axis errors here, in the parent, not as a pool failure.
+    spec.normalize_axis_values({name: tuple(values)
+                                for name, values in axes.items()})
+    emit = progress or (lambda _msg: None)
+    path = results_path(results_dir, spec.name)
+    leftover = merge_shards(results_dir, spec.name)
+    if leftover:
+        emit(f"merged {leftover} record(s) from interrupted shards")
+    done = recorded_ids(path) if resume else set()
+
+    tasks = []
+    skipped = 0
+    enqueued: set[str] = set()
+    for seed in (seeds if seeds else (scale.seed,)):
+        seeded = replace(scale, seed=seed)
+        for point in grid_points(axes):
+            params = dict(point)
+            if seeds:
+                params["seed"] = seed
+            cid = config_id(spec.name, seeded, params)
+            if cid in done or cid in enqueued:
+                skipped += 1
+                label = ", ".join(f"{k}={v}" for k, v in sorted(params.items())) or "(base)"
+                emit(f"skip {spec.name} [{label}] (already recorded)")
+                continue
+            enqueued.add(cid)
+            tasks.append((len(tasks), spec.name, seeded, point, params,
+                          scale_label, str(shard_dir(results_dir))))
+
+    ran = 0
+    if tasks:
+        jobs = max(1, min(jobs, len(tasks)))
+        context = _pool_context()
+        try:
+            with context.Pool(processes=jobs) as pool:
+                for _idx, _cid, n_rows, elapsed, label in pool.imap_unordered(
+                        _run_sweep_task, tasks):
+                    ran += 1
+                    emit(f"ran  {spec.name} [{label}] -> {n_rows} rows "
+                         f"in {elapsed:.1f}s ({ran}/{len(tasks)})")
+        finally:
+            # Keep whatever the workers finished, even if one of them (or the
+            # pool itself) blew up mid-sweep.  A --fresh sweep recomputes
+            # points whose config_id is already on disk, so its records must
+            # survive the merge's canonical-file dedup.
+            merge_shards(results_dir, spec.name,
+                         dedup_against_canonical=resume)
+    return {"ran": ran, "skipped": skipped, "path": str(path)}
+
+
+def _run_spec_task(task: tuple) -> tuple[str, list, float]:
+    """Worker body for ``repro run --all --jobs N``: run one full driver."""
+    name, scale, axis_values = task
+    spec = registry.get(name)
+    started = time.perf_counter()
+    rows = spec.run(scale, axis_values=axis_values)
+    return name, rows, time.perf_counter() - started
+
+
+def run_specs(tasks: Sequence[tuple[str, ExperimentScale, Mapping]],
+              jobs: int) -> dict[str, tuple[list, float]]:
+    """Run several experiment drivers concurrently.
+
+    ``tasks`` is a list of ``(name, scale, axis_values)``; returns
+    ``{name: (rows, elapsed_s)}``.  Used by ``repro run --all --jobs N`` to
+    spread independent drivers over worker processes.
+    """
+    if not tasks:
+        return {}
+    jobs = max(1, min(jobs, len(tasks)))
+    if jobs == 1:
+        return {name: (rows, elapsed) for name, rows, elapsed in
+                (_run_spec_task(task) for task in tasks)}
+    context = _pool_context()
+    with context.Pool(processes=jobs) as pool:
+        return {name: (rows, elapsed)
+                for name, rows, elapsed in pool.imap(_run_spec_task, tasks)}

@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
-from repro.experiments import figures
+from repro.experiments import figures, speed
 from repro.experiments.harness import ExperimentScale
 
 # Canonical axis names, shared by the CLI flags and the sweep engine.
@@ -67,6 +67,10 @@ class ExperimentSpec:
     func: Callable[..., list]
     title: str
     axes: Mapping[str, AxisBinding] = field(default_factory=dict)
+    #: True for drivers that measure host wall-clock time (``simspeed``).
+    #: Such drivers must not share the machine with concurrent workers, so
+    #: ``run --all --jobs N`` keeps them out of the worker pool.
+    wall_clock: bool = False
 
     @property
     def description(self) -> str:
@@ -230,6 +234,11 @@ def _register_all() -> None:
         title="Figure 17 — FLO vs BFT-SMaRt",
         axes={AXIS_CLUSTER: _kwarg_axis("cluster_sizes", tuple_valued=True),
               AXIS_TX: _kwarg_axis("tx_sizes", tuple_valued=True)}))
+    register(ExperimentSpec(
+        name="simspeed", func=speed.sim_speed,
+        title="Simulator speed — wall-clock microbenchmark",
+        axes={AXIS_CLUSTER: _kwarg_axis("n_nodes")},
+        wall_clock=True))
 
 
 _register_all()

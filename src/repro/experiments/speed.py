@@ -1,0 +1,100 @@
+"""Wall-clock microbenchmark of the simulator itself (``simspeed``).
+
+Unlike the figure drivers, whose rows are deterministic simulated quantities,
+this driver measures how fast the *simulator* chews through its hot paths on
+the host machine.  It pins down two scenarios:
+
+* ``fig10_large_n`` — the single most expensive grid point of the scalability
+  sweep (Figure 10): one large-cluster FireLedger run.  This is the workload
+  the tentpole optimisations (broadcast fan-out, pooled delivery timers,
+  resource/wait fast paths) are aimed at.
+* ``broadcast_storm`` — a pure network-substrate stress: a clique of
+  ``n_nodes`` endpoints where one node broadcasts control messages back to
+  back.  This isolates ``Network.broadcast`` + event-kernel cost from the
+  protocol logic.
+
+Rows carry the wall-clock seconds (best of ``repeats`` runs, to shave timer
+noise), the simulated seconds covered and their ratio.  ``variant`` labels a
+row so before/after records can coexist in ``results/simspeed.jsonl``: the
+committed ``pre-pr-baseline`` rows were recorded with the pre-optimisation
+simulator and are the reference the speedup is measured against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.cluster import run_fireledger_cluster
+from repro.core.config import FireLedgerConfig
+from repro.experiments.harness import ExperimentScale
+from repro.net.latency import SingleDatacenterLatency
+from repro.net.network import Network
+from repro.sim import Environment
+
+#: Parameters of the large-n Figure 10 point the benchmark times.
+FIG10_POINT = {"workers": 1, "batch_size": 1000, "tx_size": 512}
+FIG10_DURATION = 0.3
+FIG10_WARMUP = 0.1
+
+BROADCAST_ROUNDS = 400
+BROADCAST_SIZE = 256
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _run_fig10_point(n_nodes: int, seed: int) -> None:
+    config = FireLedgerConfig(n_nodes=n_nodes, **FIG10_POINT)
+    run_fireledger_cluster(config, duration=FIG10_DURATION,
+                           warmup=FIG10_WARMUP, seed=seed)
+
+
+def _run_broadcast_storm(n_nodes: int) -> None:
+    env = Environment()
+    network = Network(env, n_nodes, latency_model=SingleDatacenterLatency())
+
+    def storm():
+        for round_number in range(BROADCAST_ROUNDS):
+            network.broadcast(round_number % n_nodes, "bench", "PING",
+                              None, size_bytes=BROADCAST_SIZE)
+            yield env.timeout(1e-4)
+
+    env.process(storm())
+    env.run()
+
+
+def sim_speed(scale: Optional[ExperimentScale] = None, n_nodes: int = 40,
+              repeats: int = 3, variant: str = "current") -> list[dict]:
+    """Wall-clock cost of the simulator hot paths (not a paper figure)."""
+    scale = scale or ExperimentScale()
+    rows = []
+
+    fig10_wall = _best_of(repeats, lambda: _run_fig10_point(n_nodes, scale.seed))
+    rows.append({
+        "case": "fig10_large_n",
+        "n": n_nodes,
+        "sim_s": FIG10_DURATION,
+        "wall_s": round(fig10_wall, 3),
+        "sim_x_realtime": round(FIG10_DURATION / fig10_wall, 4),
+        "variant": variant,
+    })
+
+    storm_nodes = max(n_nodes, 100)
+    storm_wall = _best_of(repeats, lambda: _run_broadcast_storm(storm_nodes))
+    deliveries = BROADCAST_ROUNDS * (storm_nodes - 1)
+    rows.append({
+        "case": "broadcast_storm",
+        "n": storm_nodes,
+        "sim_s": round(BROADCAST_ROUNDS * 1e-4, 4),
+        "wall_s": round(storm_wall, 3),
+        "deliveries_per_wall_s": round(deliveries / storm_wall),
+        "variant": variant,
+    })
+    return rows

@@ -37,9 +37,20 @@ def grid_points(axes: Mapping[str, Sequence]) -> Iterator[dict]:
 
 
 def config_id(experiment: str, scale: ExperimentScale, params: Mapping) -> str:
-    """Stable identifier of one configuration (experiment + scale + point)."""
+    """Stable identifier of one configuration (experiment + scale + point).
+
+    The hash payload is canonicalised so the two spellings of a seeded run
+    collide: a seeded sweep records the seed both on the scale and as a
+    ``seed`` grid param, while ``repro run --seed s`` only sets it on the
+    scale.  Folding ``params['seed']`` into the scale before hashing makes
+    both hash identically, so resume works across the two entry points.
+    """
+    params = dict(params)
+    seed = params.pop("seed", None)
+    if seed is not None:
+        scale = replace(scale, seed=seed)
     payload = {"experiment": experiment, "scale": asdict(scale),
-               "params": dict(params)}
+               "params": params}
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=list).encode()).hexdigest()
     return digest[:16]

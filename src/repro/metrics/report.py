@@ -205,10 +205,22 @@ def render_experiments_md(results: Mapping[str, Sequence[Mapping]]) -> str:
         "python -m repro report                      # rewrite EXPERIMENTS.md",
         "```",
         "",
+        "`run` and `sweep` accept `--jobs N` to spread grid points (or, with",
+        "`run --all`, whole drivers) over N worker processes: each worker",
+        "streams finished configurations to a private shard file under",
+        "`results/.shards/`, and the parent merges the shards into the",
+        "canonical `results/<experiment>.jsonl` deduplicated by `config_id`",
+        "and in deterministic grid order, so parallel, interrupted and serial",
+        "sweeps all resume from (and append to) the same record.",
+        "",
         "Absolute numbers depend on the calibrated crypto/network cost models",
         "and are smaller than the paper's three-minute cluster runs; the",
         "*shapes* (what grows, what saturates, what collapses) are the point",
         "of comparison.  Each section quotes the paper's expected shape.",
+        "The `simspeed` section is different: it benchmarks the simulator",
+        "itself (wall-clock, host-dependent) — its committed",
+        "`pre-pr-baseline` rows pin the cost before the broadcast fan-out /",
+        "pooled-timer optimisations, and `current` rows record the speedup.",
         "",
     ]
     if not results:

@@ -12,7 +12,7 @@ _message_counter = itertools.count()
 MESSAGE_OVERHEAD_BYTES = 96
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An envelope carrying one protocol payload between two nodes.
 

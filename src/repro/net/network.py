@@ -60,8 +60,7 @@ class Endpoint:
         # travel over independent gRPC streams in the paper's implementation,
         # so bulk transfers do not head-of-line-block small control messages.
         # We model that with two independent occupancy lanes per direction.
-        self._tx_free_at = {"bulk": 0.0, "ctrl": 0.0}
-        self._rx_free_at = {"bulk": 0.0, "ctrl": 0.0}
+        self.reset_lanes()
         #: Optional callable that replaces the default mailbox delivery; nodes
         #: install a dispatcher here to route traffic to per-protocol inboxes.
         self.router = None
@@ -72,6 +71,11 @@ class Endpoint:
             self.router(message)
         else:
             self.mailbox.put(message)
+
+    def reset_lanes(self) -> None:
+        """Clear all queued NIC occupancy (both directions, both lanes)."""
+        self._tx_free_at = {"bulk": 0.0, "ctrl": 0.0}
+        self._rx_free_at = {"bulk": 0.0, "ctrl": 0.0}
 
     def _transfer_cost(self, size_bytes: int) -> float:
         """Time one message occupies the RPC stack + NIC on one side."""
@@ -153,8 +157,15 @@ class Network:
         self.endpoints[node_id].crashed = True
 
     def recover(self, node_id: int) -> None:
-        """Undo a crash (used by tests of the failure detector)."""
-        self.endpoints[node_id].crashed = False
+        """Undo a crash.
+
+        A recovered node comes back with empty NIC lanes: whatever egress or
+        ingress backlog its endpoint had accumulated before the crash died
+        with the process, so it must not resume with phantom queued traffic.
+        """
+        endpoint = self.endpoints[node_id]
+        endpoint.crashed = False
+        endpoint.reset_lanes()
 
     def is_crashed(self, node_id: int) -> bool:
         """Whether ``node_id`` has crashed."""
@@ -163,7 +174,13 @@ class Network:
     # ------------------------------------------------------------------ send
     def send(self, sender: int, receiver: int, channel: str, kind: str,
              payload: Any, size_bytes: int = MESSAGE_OVERHEAD_BYTES) -> Optional[Message]:
-        """Send one message; returns it (or ``None`` if it was dropped at source)."""
+        """Send one message; returns it, or ``None`` if it was dropped.
+
+        A fault-controller drop is decided *before* the sender's NIC lane is
+        reserved: dropped traffic consumes neither egress nor ingress time, so
+        an injected loss cannot delay the sender's subsequent messages.  (The
+        drop still counts in ``stats`` as one message sent and one dropped.)
+        """
         if not 0 <= sender < self.n_nodes or not 0 <= receiver < self.n_nodes:
             raise ValueError(f"invalid endpoint ids sender={sender} receiver={receiver}")
         source = self.endpoints[sender]
@@ -176,47 +193,111 @@ class Network:
 
         if sender == receiver:
             # Local loopback: no NIC, no propagation, delivered immediately.
-            self._deliver(message, delay=0.0)
+            self.env.call_later(0.0, self._complete_delivery, message)
             return message
+
+        if self.fault_controller is not None and self.fault_controller.should_drop(
+                message, self.env.now, self.rng):
+            self.stats.messages_dropped += 1
+            return None
 
         serialisation_done = source.reserve_nic(message.size_bytes)
         propagation = self.latency_model.sample(sender, receiver, self.rng)
-
         extra = 0.0
         if self.fault_controller is not None:
-            if self.fault_controller.should_drop(message, self.env.now, self.rng):
-                self.stats.messages_dropped += 1
-                return message
             extra = self.fault_controller.extra_delay(message, self.env.now, self.rng)
 
         destination = self.endpoints[receiver]
         received_at = destination.reserve_ingress(
             message.size_bytes, not_before=serialisation_done + propagation + extra)
-        self._deliver(message, delay=received_at - self.env.now)
+        self.env.call_later(received_at - self.env.now, self._complete_delivery,
+                            message)
         return message
 
     def broadcast(self, sender: int, channel: str, kind: str, payload: Any,
                   size_bytes: int = MESSAGE_OVERHEAD_BYTES,
                   include_self: bool = False) -> list[Message]:
-        """Send the same payload to every other node (clique dissemination)."""
+        """Send the same payload to every other node (clique dissemination).
+
+        Fan-out fast path: instead of ``n`` independent :meth:`send` calls the
+        fan-out builds every :class:`Message` and reserves the sender's NIC
+        lane in a single pass.  The per-copy serialisation cost is identical
+        (all copies are the same size), so the egress lane advances by one
+        precomputed increment per copy rather than a full ``reserve_nic``
+        round-trip.  Dropped copies are excluded from the returned list and,
+        as in :meth:`send`, consume no egress.
+        """
+        if not 0 <= sender < self.n_nodes:
+            raise ValueError(f"invalid endpoint id sender={sender}")
+        source = self.endpoints[sender]
+        if source.crashed:
+            return []
+        env = self.env
+        now = env.now
+        stats = self.stats
+        fault = self.fault_controller
+        sample = self.latency_model.sample
+        rng = self.rng
+        endpoints = self.endpoints
+        complete = self._complete_delivery
+        call_later = env.call_later
+
+        wire_bytes = max(size_bytes, MESSAGE_OVERHEAD_BYTES)  # Message clamps too
+        lane = Endpoint._lane(wire_bytes)
+        cost = source._transfer_cost(wire_bytes)
+        tx_free = source._tx_free_at
+        free_at = tx_free[lane]
+        if free_at < now:
+            free_at = now
+
         messages = []
+        sent = dropped = 0
+        egress_copies = 0
         for receiver in range(self.n_nodes):
-            if receiver == sender and not include_self:
-                continue
-            message = self.send(sender, receiver, channel, kind, payload, size_bytes)
-            if message is not None:
+            if receiver == sender:
+                if not include_self:
+                    continue
+                message = Message(sender=sender, receiver=sender, channel=channel,
+                                  kind=kind, payload=payload, size_bytes=size_bytes,
+                                  sent_at=now)
+                sent += 1
+                call_later(0.0, complete, message)
                 messages.append(message)
+                continue
+            message = Message(sender=sender, receiver=receiver, channel=channel,
+                              kind=kind, payload=payload, size_bytes=size_bytes,
+                              sent_at=now)
+            sent += 1
+            if fault is not None and fault.should_drop(message, now, rng):
+                dropped += 1
+                continue
+            free_at += cost
+            egress_copies += 1
+            not_before = free_at + sample(sender, receiver, rng)
+            if fault is not None:
+                not_before += fault.extra_delay(message, now, rng)
+            received_at = endpoints[receiver].reserve_ingress(
+                wire_bytes, not_before=not_before)
+            call_later(received_at - now, complete, message)
+            messages.append(message)
+
+        tx_free[lane] = free_at
+        source.bytes_sent += egress_copies * wire_bytes
+        stats.messages_sent += sent
+        stats.messages_dropped += dropped
+        if sent:
+            # Dropped copies count as sent bytes too, matching send().
+            stats.bytes_sent += sent * wire_bytes
+            key = (channel, kind)
+            stats.per_kind[key] = stats.per_kind.get(key, 0) + sent
         return messages
 
-    def _deliver(self, message: Message, delay: float) -> None:
-        def _complete(_event) -> None:
-            destination = self.endpoints[message.receiver]
-            if destination.crashed:
-                self.stats.messages_dropped += 1
-                return
-            message.delivered_at = self.env.now
-            destination.bytes_received += message.size_bytes
-            self.stats.messages_delivered += 1
-            destination.deliver(message)
-
-        self.env.timeout(delay).add_callback(_complete)
+    def _complete_delivery(self, message: Message) -> None:
+        destination = self.endpoints[message.receiver]
+        if destination.crashed:
+            self.stats.messages_dropped += 1
+            return
+        message.delivered_at = self.env.now
+        destination.bytes_received += message.size_bytes
+        self.stats.messages_delivered += 1
+        destination.deliver(message)

@@ -80,6 +80,28 @@ class Event:
         return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
 
 
+class ScheduledCallback:
+    """A pooled, kernel-internal timer carrying one ``fn(arg)`` callback.
+
+    High-rate internal machinery (message delivery in the network substrate)
+    used to allocate a full :class:`Timeout` plus a closure and a callbacks
+    list per occurrence.  A :class:`ScheduledCallback` is a bare slotted
+    object the :class:`~repro.sim.environment.Environment` recognises in its
+    dispatch loop and recycles into a free pool after firing, so the steady
+    state allocates nothing per delivery.
+
+    Not an :class:`Event`: it cannot be yielded on, composed, or observed.
+    Schedule one only through ``Environment.call_later`` and never retain a
+    reference after it fires — the instance will be reused.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
+
+
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created.
 

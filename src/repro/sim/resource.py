@@ -71,7 +71,12 @@ class Resource:
 
             yield from cpu.use(t_sign)
         """
-        yield self.acquire()
+        if self._in_use < self.capacity and not self._waiters:
+            # Fast path: a slot is free right now — take it without the
+            # acquire-event round-trip through the scheduler.
+            self._in_use += 1
+        else:
+            yield self.acquire()
         try:
             yield self.env.timeout(duration)
         finally:

@@ -169,6 +169,42 @@ def test_sweep_runs_grid_and_resumes(tmp_path, capsys):
     assert {r["params"]["batch_size"] for r in records} == {10, 100}
 
 
+def test_sweep_jobs_merges_without_duplicates_and_resumes(tmp_path, capsys):
+    argv = ["sweep", "fig05", "--scale", "quick",
+            "--batch-sizes", "10,100", "--workers", "1,2",
+            "--jobs", "2", "--results-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "4 ran, 0 skipped" in capsys.readouterr().out
+    records = [json.loads(line) for line
+               in (tmp_path / "fig05.jsonl").read_text().splitlines()]
+    ids = [r["config_id"] for r in records]
+    assert len(ids) == len(set(ids)) == 4
+    # A serial sweep over the same grid resumes from the parallel records.
+    serial = ["sweep", "fig05", "--scale", "quick",
+              "--batch-sizes", "10,100", "--workers", "1,2",
+              "--results-dir", str(tmp_path)]
+    assert main(serial) == 0
+    assert "0 ran, 4 skipped" in capsys.readouterr().out
+
+
+def test_sweep_wall_clock_experiment_refuses_worker_pool(tmp_path, capsys):
+    """simspeed rows are host wall-clock measurements: pooling them would
+    record contention-inflated numbers, so --jobs falls back to serial."""
+    rc = main(["sweep", "simspeed", "--cluster-sizes", "4", "--jobs", "4",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "running serially despite --jobs 4" in out
+    assert "1 ran, 0 skipped" in out
+
+
+def test_run_single_experiment_ignores_jobs(tmp_path, capsys):
+    rc = main(["run", "fig05", "--scale", "quick", "--jobs", "4",
+               "--results-dir", str(tmp_path)])
+    assert rc == 0
+    assert "recorded ->" in capsys.readouterr().out
+
+
 def test_report_writes_markdown_and_csv(tmp_path, capsys):
     results = tmp_path / "results"
     assert main(["run", "fig05", "--scale", "quick",

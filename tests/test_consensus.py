@@ -82,6 +82,81 @@ def test_obbc_evidence_pulls_fallback_to_one():
     assert len(decisions) == 1
 
 
+def test_obbc_fast_path_skips_evidence_exchange():
+    """Unanimous favoured votes decide in one step: no EV_REQ, no BBC phases."""
+    env = Environment()
+    network = make_network(env, 4)
+    results = run_obbc(env, network, votes=[1, 1, 1, 1],
+                       evidence_for={0, 1, 2, 3})
+    assert all(r.fast_path for r in results)
+    assert all(r.phases_used == 0 for r in results)
+    # Every node saw the unanimous quorum it fast-decided from.
+    assert all(set(r.votes_seen.values()) == {1} for r in results)
+    assert network.stats.messages_of_kind("OBBC_EV_REQ") == 0
+    assert network.stats.messages_of_kind("OBBC_EV_RESP") == 0
+
+
+def test_obbc_evidence_fallback_converges_on_favoured_value():
+    """Split votes force the evidence exchange; served evidence pulls every
+    estimate to the favoured value, so the BBC fallback decides 1."""
+    env = Environment()
+    network = make_network(env, 4)
+    contexts = build_contexts(env, network)
+    results = [None] * network.n_nodes
+
+    def evidence_validator(evidence):
+        return evidence == "proof"
+
+    def node_process(node_id, value, evidence):
+        obbc = OptimisticBinaryConsensus(contexts[node_id], 1, tag=0,
+                                         coordinator_base=1,
+                                         evidence_validator=evidence_validator,
+                                         collect_timeout=0.2,
+                                         fallback_phase_timeout=0.05)
+        results[node_id] = yield from obbc.propose(value, evidence=evidence)
+
+    def evidence_server(node_id):
+        # Serve EV_REQs the way WRB does for a header it holds evidence for.
+        while True:
+            request = yield from contexts[node_id].wait_message(
+                lambda m: m.kind == "OBBC_EV_REQ", timeout=1.0)
+            if request is None:
+                return
+            contexts[node_id].send(request.sender, "OBBC_EV_RESP",
+                                   {"tag": request.payload["tag"],
+                                    "evidence": "proof"})
+
+    votes = [1, 1, 0, 0]
+    for node_id in range(4):
+        evidence = "proof" if votes[node_id] == 1 else None
+        env.process(node_process(node_id, votes[node_id], evidence))
+        env.process(evidence_server(node_id))
+    env.run(until=20.0)
+
+    assert all(r is not None for r in results)
+    # Nobody can assemble a unanimous n - f quorum: everyone takes the
+    # fallback, and the served evidence forces the favoured value through.
+    assert all(not r.fast_path for r in results)
+    assert all(r.phases_used >= 1 for r in results)
+    assert {r.decision for r in results} == {1}
+    assert network.stats.messages_of_kind("OBBC_EV_REQ") > 0
+    assert network.stats.messages_of_kind("OBBC_EV_RESP") > 0
+
+
+def test_obbc_fallback_without_served_evidence_still_agrees():
+    """A 2-2 split rules the fast path out for everyone; with nobody serving
+    EV_REQs the exchange times out and the BBC fallback still agrees."""
+    env = Environment()
+    network = make_network(env, 4)
+    results = run_obbc(env, network, votes=[1, 1, 0, 0], evidence_for={0, 1})
+    assert all(r is not None for r in results)
+    assert all(not r.fast_path for r in results)
+    assert len({r.decision for r in results}) == 1
+    # The evidence exchange was attempted (requests went out) even though
+    # no peer answered them.
+    assert network.stats.messages_of_kind("OBBC_EV_REQ") > 0
+
+
 def test_obbc_rejects_invalid_proposals():
     env = Environment()
     network = make_network(env, 4)

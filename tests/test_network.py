@@ -111,6 +111,83 @@ def test_network_stats_per_kind(env, network):
     assert network.stats.messages_of_kind("B", channel="other") == 0
 
 
+# ------------------------------------------------------- drop/recover contract
+def test_send_returns_message_on_success(env, network):
+    message = network.send(0, 1, "test", "OK", None)
+    assert message is not None
+    env.run()
+    assert message.delivered_at is not None
+
+
+def test_send_returns_none_when_source_crashed(env, network):
+    network.crash(0)
+    assert network.send(0, 1, "test", "X", None) is None
+
+
+def test_send_returns_none_on_fault_drop(env, network):
+    network.fault_controller = MessageLossFault(loss_rate=1.0)
+    assert network.send(0, 1, "test", "X", None) is None
+    assert network.stats.messages_dropped == 1
+    assert network.stats.messages_sent == 1
+
+
+def test_dropped_message_consumes_no_egress(env, network):
+    network.fault_controller = MessageLossFault(loss_rate=1.0)
+    before = dict(network.endpoint(0)._tx_free_at)
+    assert network.send(0, 1, "test", "X", None,
+                        size_bytes=BULK_MESSAGE_THRESHOLD * 10) is None
+    assert network.endpoint(0)._tx_free_at == before
+    assert network.endpoint(0).bytes_sent == 0
+
+
+def test_broadcast_excludes_dropped_messages(env, network):
+    network.fault_controller = MessageLossFault(loss_rate=1.0, receivers={2})
+    messages = network.broadcast(0, "test", "HELLO", None)
+    assert {m.receiver for m in messages} == {1, 3}
+    assert network.stats.messages_dropped == 1
+    env.run()
+    assert collect_inbox(network, 2) == []
+    assert len(collect_inbox(network, 1)) == 1
+
+
+def test_broadcast_matches_send_loop_semantics(env):
+    """The fan-out fast path times deliveries like n sequential sends."""
+    size = BULK_MESSAGE_THRESHOLD * 4
+    env_b, env_s = Environment(), Environment()
+    fanout = make_network(env_b, 5)
+    serial = make_network(env_s, 5)
+    fanout.broadcast(0, "t", "BODY", None, size_bytes=size)
+    for receiver in range(1, 5):
+        serial.send(0, receiver, "t", "BODY", None, size_bytes=size)
+    env_b.run()
+    env_s.run()
+    for node in range(1, 5):
+        got_b = collect_inbox(fanout, node)
+        got_s = collect_inbox(serial, node)
+        assert len(got_b) == len(got_s) == 1
+        assert got_b[0].delivered_at == pytest.approx(got_s[0].delivered_at)
+    assert fanout.endpoint(0).bytes_sent == serial.endpoint(0).bytes_sent
+    assert fanout.stats.bytes_sent == serial.stats.bytes_sent
+
+
+def test_recover_resets_stale_lane_backlog(env, network):
+    # Pile up egress and ingress backlog on node 0, then crash it.
+    for _ in range(5):
+        network.send(0, 1, "t", "OUT", None, size_bytes=BULK_MESSAGE_THRESHOLD * 100)
+        network.send(1, 0, "t", "IN", None, size_bytes=BULK_MESSAGE_THRESHOLD * 100)
+    endpoint = network.endpoint(0)
+    assert endpoint.nic_backlog > 0
+    assert endpoint.ingress_backlog > 0
+    network.crash(0)
+    env.run(until=0.001)  # advance time; the pre-crash backlog would linger
+    network.recover(0)
+    assert endpoint.nic_backlog == 0
+    assert endpoint.ingress_backlog == 0
+    # A recovered node sends fresh traffic with no phantom queueing delay.
+    message = network.send(0, 1, "t", "FRESH", None)
+    assert message is not None
+
+
 # ------------------------------------------------------------ latency models
 def test_single_datacenter_latency_is_submillisecond_scale():
     model = SingleDatacenterLatency()

@@ -1,0 +1,151 @@
+"""Tests of the multi-process sweep executor and its shard-merge protocol."""
+
+import json
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.parallel import (
+    merge_shards,
+    run_parallel_sweep,
+    run_specs,
+    shard_dir,
+)
+from repro.experiments.sweep import (
+    append_record,
+    config_id,
+    make_record,
+    recorded_ids,
+    results_path,
+    run_sweep,
+)
+
+TINY = ExperimentScale(duration=0.3, warmup=0.05, workers_sweep=(1,),
+                       cluster_sizes=(4,), batch_sizes=(10,), tx_sizes=(512,))
+
+
+def _ids_in_file(path):
+    return [json.loads(line)["config_id"]
+            for line in path.read_text().splitlines()]
+
+
+def test_parallel_sweep_records_and_resumes(tmp_path):
+    spec = registry.get("fig05")
+    axes = {"batch_size": (10, 100), "workers": (1, 2)}
+    first = run_parallel_sweep(spec, TINY, axes, results_dir=tmp_path,
+                               scale_label="tiny", jobs=2)
+    assert first["ran"] == 4 and first["skipped"] == 0
+    path = results_path(tmp_path, "fig05")
+    ids = _ids_in_file(path)
+    assert len(ids) == len(set(ids)) == 4
+    assert not shard_dir(tmp_path).exists()  # shards cleaned up after merge
+    again = run_parallel_sweep(spec, TINY, axes, results_dir=tmp_path,
+                               scale_label="tiny", jobs=2)
+    assert again["ran"] == 0 and again["skipped"] == 4
+    assert _ids_in_file(path) == ids  # resume appends nothing
+
+
+def test_parallel_merge_order_matches_serial_enumeration(tmp_path):
+    """The merged file is in grid order no matter which worker finished first."""
+    spec = registry.get("fig05")
+    axes = {"batch_size": (10, 100, 1000), "workers": (1, 2)}
+    run_parallel_sweep(spec, TINY, axes, results_dir=tmp_path / "par",
+                       scale_label="tiny", jobs=3)
+    run_sweep(spec, TINY, axes, results_dir=tmp_path / "ser",
+              scale_label="tiny")
+    assert (_ids_in_file(results_path(tmp_path / "par", "fig05"))
+            == _ids_in_file(results_path(tmp_path / "ser", "fig05")))
+
+
+def test_parallel_and_serial_sweeps_share_resume_state(tmp_path):
+    spec = registry.get("fig05")
+    run_sweep(spec, TINY, {"batch_size": (10,)}, results_dir=tmp_path,
+              scale_label="tiny")
+    outcome = run_parallel_sweep(spec, TINY, {"batch_size": (10, 100)},
+                                 results_dir=tmp_path, scale_label="tiny",
+                                 jobs=2)
+    assert outcome == {"ran": 1, "skipped": 1,
+                       "path": str(results_path(tmp_path, "fig05"))}
+
+
+def test_parallel_fresh_sweep_appends_recomputed_records(tmp_path):
+    """``--fresh`` re-runs must survive the merge, as they do serially: the
+    recomputed record shares its config_id with the existing one and is
+    appended anyway (the report keeps the last record per id)."""
+    spec = registry.get("fig05")
+    axes = {"batch_size": (10,)}
+    run_parallel_sweep(spec, TINY, axes, results_dir=tmp_path,
+                       scale_label="tiny", jobs=2)
+    fresh = run_parallel_sweep(spec, TINY, axes, results_dir=tmp_path,
+                               scale_label="tiny", jobs=2, resume=False)
+    assert fresh["ran"] == 1
+    ids = _ids_in_file(results_path(tmp_path, "fig05"))
+    assert len(ids) == 2 and len(set(ids)) == 1  # duplicate id, last wins
+
+
+def test_parallel_sweep_seeds_are_an_axis(tmp_path):
+    spec = registry.get("fig05")
+    outcome = run_parallel_sweep(spec, TINY, {"batch_size": (10,)},
+                                 results_dir=tmp_path, scale_label="tiny",
+                                 seeds=(1, 2), jobs=2)
+    assert outcome["ran"] == 2
+    records = [json.loads(line) for line in
+               results_path(tmp_path, "fig05").read_text().splitlines()]
+    assert [r["seed"] for r in records] == [1, 2]
+    assert all(r["params"]["seed"] == r["seed"] for r in records)
+
+
+def test_parallel_sweep_rejects_unknown_axis_in_parent(tmp_path):
+    with pytest.raises(ValueError, match="no 'cluster_size' axis"):
+        run_parallel_sweep(registry.get("fig05"), TINY,
+                           {"cluster_size": (4,)}, results_dir=tmp_path)
+
+
+def test_merge_shards_folds_orphans_and_tolerates_garbage(tmp_path):
+    """Shards from a crashed run are folded in before the next sweep."""
+    spec = registry.get("fig05")
+    record = make_record(spec, TINY, "tiny", {"batch_size": 10}, [{"sps": 1.0}])
+    duplicate = make_record(spec, TINY, "tiny", {"batch_size": 10}, [{"sps": 9.9}])
+    other = make_record(spec, TINY, "tiny", {"batch_size": 100}, [{"sps": 2.0}])
+    shards = shard_dir(tmp_path)
+    shards.mkdir(parents=True)
+    with (shards / "fig05.111.jsonl").open("w") as handle:
+        handle.write(json.dumps({"idx": 1, "record": other}) + "\n")
+        handle.write('{"idx": 2, "record": {"config_id": "trunc')  # crash tail
+    with (shards / "fig05.222.jsonl").open("w") as handle:
+        handle.write(json.dumps({"idx": 0, "record": record}) + "\n")
+        handle.write(json.dumps({"idx": 3, "record": duplicate}) + "\n")
+    merged = merge_shards(tmp_path, "fig05")
+    assert merged == 2  # duplicate config_id and truncated line discarded
+    path = results_path(tmp_path, "fig05")
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    # idx order, not shard-file order; first record per config_id wins.
+    assert [r["params"]["batch_size"] for r in records] == [10, 100]
+    assert records[0]["rows"] == [{"sps": 1.0}]
+    assert not shards.exists()
+    assert merge_shards(tmp_path, "fig05") == 0  # idempotent
+
+
+def test_merge_shards_skips_ids_already_in_canonical(tmp_path):
+    spec = registry.get("fig05")
+    record = make_record(spec, TINY, "tiny", {"batch_size": 10}, [{"sps": 1.0}])
+    append_record(results_path(tmp_path, "fig05"), record)
+    shards = shard_dir(tmp_path)
+    shards.mkdir(parents=True)
+    stale = make_record(spec, TINY, "tiny", {"batch_size": 10}, [{"sps": 5.0}])
+    (shards / "fig05.1.jsonl").write_text(
+        json.dumps({"idx": 0, "record": stale}) + "\n")
+    assert merge_shards(tmp_path, "fig05") == 0
+    assert recorded_ids(results_path(tmp_path, "fig05")) == \
+        {config_id("fig05", TINY, {"batch_size": 10})}
+
+
+def test_run_specs_parallel_matches_serial(tmp_path):
+    tasks = [("fig05", TINY, {"batch_size": (10,)}),
+             ("table1", TINY, {})]
+    serial = run_specs(tasks, jobs=1)
+    parallel_result = run_specs(tasks, jobs=2)
+    assert set(serial) == set(parallel_result) == {"fig05", "table1"}
+    assert serial["fig05"][0] == parallel_result["fig05"][0]  # identical rows
+    assert all(elapsed >= 0 for _rows, elapsed in parallel_result.values())

@@ -68,6 +68,39 @@ def test_wait_message_raises_panic_interrupt():
     assert result[2] == pytest.approx(0.3, abs=0.01)
 
 
+def test_wait_message_requeues_message_racing_the_timeout():
+    """A message landing between the timeout firing and the getter withdrawal
+    must not vanish into the abandoned get event (the ``_withdraw_getter``
+    requeue path): the wait still times out, but the next wait sees it."""
+    env = Environment()
+    network = make_network(env, 4)
+    context = build_context(env, network, 0)
+    outcomes = []
+
+    def waiter():
+        first = yield from context.wait_message(lambda m: True, timeout=1.0)
+        outcomes.append(("first", first))
+        second = yield from context.wait_message(lambda m: True, timeout=1.0)
+        outcomes.append(("second", second))
+
+    env.process(waiter())
+    env.run(until=0.5)  # the wait (and its internal timeout) is registered
+
+    racer = object()  # wait_message treats inbox items opaquely
+
+    def racing_put(_event):
+        context.inbox.put(racer)
+
+    # This timer is created *after* the wait's own timeout, so at t=1.0 the
+    # heap pops the wait timeout first (the AnyOf fires empty-handed), then
+    # this put satisfies the still-registered getter — exactly the race.
+    env.timeout(0.5).add_callback(racing_put)
+    env.run(until=3.0)
+
+    assert outcomes[0] == ("first", None)          # the wait timed out...
+    assert outcomes[1] == ("second", racer)        # ...but the message survived
+
+
 def test_collect_messages_stops_at_count_or_timeout():
     env = Environment()
     network = make_network(env, 4)
