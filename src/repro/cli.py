@@ -3,8 +3,9 @@
 Three subcommands turn the repo from a test suite into a drivable
 evaluation system:
 
-* ``run``    — execute one figure/table driver (or ``--all``) at a chosen
-  scale, print its rows and append them to the JSONL result store;
+* ``run``    — execute one figure/table driver or declarative scenario
+  (``scenario:<name>``), or ``--all``, at a chosen scale, print its rows and
+  append them to the JSONL result store;
 * ``sweep``  — run a cartesian grid of configurations for one driver,
   one JSONL record per grid point, resumable;
 * ``report`` — read the result store and regenerate EXPERIMENTS.md (and
@@ -91,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser(
         "run", help="run one experiment driver (or --all) and print its rows")
     run.add_argument("experiment", nargs="?", default=None,
-                     help="registry name, e.g. fig07 or table1 (see 'list')")
+                     help="registry name, e.g. fig07, table1 or "
+                          "scenario:paper-lan (see 'list')")
     run.add_argument("--all", action="store_true", dest="run_all",
                      help="run every registered experiment")
     _add_scale_options(run)
@@ -110,7 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
     swp = sub.add_parser(
         "sweep", help="run a cartesian grid for one driver, one JSONL "
                       "record per configuration (resumable)")
-    swp.add_argument("experiment", help="registry name, e.g. fig10")
+    swp.add_argument("experiment",
+                     help="registry name, e.g. fig10 or scenario:geo-5region")
     _add_scale_options(swp)
     _add_axis_options(swp)
     _add_jobs_option(swp)
@@ -142,6 +145,24 @@ def _resolve_scale(args: argparse.Namespace) -> ExperimentScale:
                  for name in ("seed", "duration", "warmup")
                  if getattr(args, name) is not None}
     return replace(scale, **overrides) if overrides else scale
+
+
+def _effective_scale(spec, scale: ExperimentScale,
+                     args: argparse.Namespace, out) -> ExperimentScale:
+    """Strip duration/warmup overrides for drivers that pin their own.
+
+    Scenario fault-phase times are absolute simulated seconds, so a scenario
+    spec pins its run length; honouring ``--duration`` would silently skip
+    scheduled faults, and hashing the ignored override into ``config_id``
+    would make the identical run look like a new configuration.
+    """
+    if not spec.pins_duration:
+        return scale
+    if args.duration is not None or args.warmup is not None:
+        print(f"note: {spec.name} pins its own simulated duration/warmup; "
+              f"ignoring --duration/--warmup", file=out)
+    preset = SCALES[args.scale]()
+    return replace(scale, duration=preset.duration, warmup=preset.warmup)
 
 
 def _axis_values(args: argparse.Namespace) -> dict[str, tuple[int, ...]]:
@@ -184,36 +205,47 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         # sweep engine uses, so a later sweep over that point resumes-skips.
         params = {axis: (vals[0] if len(vals) == 1 else list(vals))
                   for axis, vals in sorted(applicable.items())}
+        spec_scale = _effective_scale(spec, scale, args, out)
         record_path = sweep.results_path(args.results_dir, spec.name)
-        cid = sweep.config_id(spec.name, scale, params)
+        cid = sweep.config_id(spec.name, spec_scale, params)
         if (not args.no_record and not args.force
                 and cid in sweep.recorded_ids(record_path)):
             print(f"{spec.name}: already recorded at this configuration in "
                   f"{record_path} (use --force to re-run)", file=out)
             continue
-        plan.append((spec, applicable, params, record_path))
+        plan.append((spec, spec_scale, applicable, params, record_path))
 
     precomputed: dict = {}
     if args.jobs > 1 and len(plan) > 1:
         # Wall-clock benchmarks (simspeed) stay out of the pool: timing them
         # while sibling workers saturate the cores would record inflated
         # numbers as real data.  They run inline in the loop below instead.
-        poolable = [(spec.name, scale, applicable)
-                    for spec, applicable, _, _ in plan if not spec.wall_clock]
+        poolable = [(spec.name, spec_scale, applicable)
+                    for spec, spec_scale, applicable, _, _ in plan
+                    if not spec.wall_clock]
         try:
             precomputed = parallel.run_specs(poolable, jobs=args.jobs)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    for spec, applicable, params, record_path in plan:
+    for spec, spec_scale, applicable, params, record_path in plan:
         if spec.name in precomputed:
             rows, elapsed = precomputed[spec.name]
+            if isinstance(rows, ValueError):
+                print(f"{spec.name}: skipped ({rows})", file=out)
+                continue
         else:
             started = time.perf_counter()
             try:
-                rows = spec.run(scale, axis_values=applicable)
+                rows = spec.run(spec_scale, axis_values=applicable)
             except ValueError as exc:
+                if args.run_all:
+                    # e.g. a scenario whose fault schedule references nodes
+                    # outside an overridden cluster size: skip it rather than
+                    # aborting every other driver in the batch.
+                    print(f"{spec.name}: skipped ({exc})", file=out)
+                    continue
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
             elapsed = time.perf_counter() - started
@@ -224,7 +256,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
               f"{elapsed:.1f}s)", file=out)
         if not args.no_record:
             sweep.append_record(record_path, sweep.make_record(
-                spec, scale, args.scale, params, rows, elapsed_s=elapsed))
+                spec, spec_scale, args.scale, params, rows, elapsed_s=elapsed))
             print(f"recorded -> {record_path}", file=out)
     return 0
 
@@ -241,7 +273,7 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         print(f"error: sweep needs at least one grid axis ({flags} or --seeds)",
               file=sys.stderr)
         return 2
-    scale = _resolve_scale(args)
+    scale = _effective_scale(spec, _resolve_scale(args), args, out)
     progress = lambda msg: print(msg, file=out)  # noqa: E731
     jobs = args.jobs
     if jobs > 1 and spec.wall_clock:
@@ -285,7 +317,8 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
               f"({len(results)} experiment(s) from {args.results_dir}/)", file=out)
     if args.csv_dir:
         for name, records in results.items():
-            report.write_csv(records, Path(args.csv_dir) / f"{name}.csv")
+            report.write_csv(records,
+                             Path(args.csv_dir) / f"{sweep.file_stem(name)}.csv")
         print(f"wrote {len(results)} CSV file(s) to {args.csv_dir}/", file=out)
     return 0
 

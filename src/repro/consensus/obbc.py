@@ -70,11 +70,27 @@ class OptimisticBinaryConsensus:
     # ------------------------------------------------------------------- run
     def propose(self, value: int, evidence: Any = None, piggyback: Any = None,
                 piggyback_size: int = 0):
-        """Run OBBC (process generator); returns an :class:`OBBCResult`.
+        """Run OBBC; a process generator, drive it with ``yield from``.
+
+        Returns an :class:`OBBCResult`.  ``result.fast_path`` is True when
+        the first ``n - f`` votes collected were unanimously ``value`` — the
+        single-communication-step decision, whose unanimous vote set doubles
+        as a termination certificate for peers that fell back (it is returned
+        in ``votes_seen`` for the caller to serve on demand).  Otherwise the
+        instance requests evidence from its peers, adjusts its estimate
+        toward the favoured value if any valid evidence arrives, and decides
+        through the full :class:`~repro.consensus.bbc.BinaryConsensus`
+        (``fast_path=False``, ``phases_used`` from the fallback).
+
+        Each vote/evidence collection step waits at most ``collect_timeout``
+        simulated seconds per message; a timeout abandons the collection loop
+        with however many responses arrived (fewer than ``n - f`` forces the
+        fallback) rather than blocking a crashed peer's slot forever.
 
         ``evidence`` is this node's evidence for the favoured value (the
         proposer's signed message, in WRB's usage); it must be ``None`` when
-        ``value`` is not the favoured value (assertions OB2/OB3).
+        ``value`` is not the favoured value (assertions OB2/OB3), and valid
+        evidence is mandatory when proposing the favoured value.
         """
         if value not in (0, 1):
             raise ValueError("OBBC values must be 0 or 1")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.config import FireLedgerConfig
 from repro.core.flo import FLONode
@@ -70,7 +70,9 @@ def run_fireledger_cluster(config: FireLedgerConfig,
                            crash_schedule: Optional[CrashSchedule] = None,
                            byzantine_nodes: Optional[frozenset[int]] = None,
                            fault_controller: Optional[FaultController] = None,
-                           latency_trim: float = 0.0) -> ClusterResult:
+                           latency_trim: float = 0.0,
+                           setup: Optional[Callable[[Environment, Network, list[FLONode]], None]] = None,
+                           excluded_nodes: Optional[Iterable[int]] = None) -> ClusterResult:
     """Build, run and summarise one FLO cluster.
 
     Parameters mirror the paper's evaluation levers: ``config`` carries the
@@ -78,6 +80,14 @@ def run_fireledger_cluster(config: FireLedgerConfig,
     matrix of Section 7.5, ``crash_schedule`` and ``byzantine_nodes`` reproduce
     Sections 7.4.1/7.4.2, ``warmup`` excludes start-up effects from the
     measured window (the paper measures after the faulty nodes crash).
+
+    ``setup`` is a hook invoked after the nodes are built and started but
+    before the simulation runs; the declarative scenario layer uses it to
+    attach client workloads and install timed fault events (crash *and*
+    recover, partitions, loss windows).  ``excluded_nodes`` extends the set
+    of nodes left out of the aggregated metrics beyond the crash schedule's
+    victims and the Byzantine nodes — e.g. nodes a fault timeline crashes
+    without ever recovering.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -111,6 +121,8 @@ def run_fireledger_cluster(config: FireLedgerConfig,
 
     if crash_schedule is not None:
         crash_schedule.install(env, network)
+    if setup is not None:
+        setup(env, network, nodes)
 
     env.run(until=duration)
 
@@ -119,6 +131,8 @@ def run_fireledger_cluster(config: FireLedgerConfig,
         excluded |= set(crash_schedule.crashed_nodes)
     if byzantine_nodes:
         excluded |= set(byzantine_nodes)
+    if excluded_nodes is not None:
+        excluded |= set(excluded_nodes)
     correct_nodes = [node for node in nodes if node.node_id not in excluded]
     if not correct_nodes:
         correct_nodes = nodes

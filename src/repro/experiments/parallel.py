@@ -37,6 +37,7 @@ from repro.experiments.registry import ExperimentSpec
 from repro.experiments.sweep import (
     RESULTS_DIR_DEFAULT,
     config_id,
+    file_stem,
     grid_points,
     make_record,
     recorded_ids,
@@ -60,7 +61,7 @@ def _shard_files(results_dir: "str | Path", experiment: str) -> list[Path]:
     directory = shard_dir(results_dir)
     if not directory.is_dir():
         return []
-    return sorted(directory.glob(f"{experiment}.*.jsonl"))
+    return sorted(directory.glob(f"{file_stem(experiment)}.*.jsonl"))
 
 
 def merge_shards(results_dir: "str | Path", experiment: str,
@@ -123,7 +124,7 @@ def _run_sweep_task(task: tuple) -> tuple[int, str, int, float, str]:
     elapsed = time.perf_counter() - started
     record = make_record(spec, scale, scale_label, params, rows,
                          elapsed_s=elapsed)
-    shard = Path(shard_base) / f"{spec_name}.{os.getpid()}.jsonl"
+    shard = Path(shard_base) / f"{file_stem(spec_name)}.{os.getpid()}.jsonl"
     shard.parent.mkdir(parents=True, exist_ok=True)
     with shard.open("a") as handle:
         handle.write(json.dumps({"idx": idx, "record": record},
@@ -198,12 +199,21 @@ def run_parallel_sweep(spec: ExperimentSpec,
     return {"ran": ran, "skipped": skipped, "path": str(path)}
 
 
-def _run_spec_task(task: tuple) -> tuple[str, list, float]:
-    """Worker body for ``repro run --all --jobs N``: run one full driver."""
+def _run_spec_task(task: tuple) -> tuple[str, "list | ValueError", float]:
+    """Worker body for ``repro run --all --jobs N``: run one full driver.
+
+    A driver that rejects its configuration (e.g. a scenario whose fault
+    schedule references nodes outside an overridden cluster size) returns
+    the ``ValueError`` in the rows slot instead of poisoning the pool, so
+    the caller can skip just that driver.
+    """
     name, scale, axis_values = task
     spec = registry.get(name)
     started = time.perf_counter()
-    rows = spec.run(scale, axis_values=axis_values)
+    try:
+        rows = spec.run(scale, axis_values=axis_values)
+    except ValueError as exc:
+        return name, exc, time.perf_counter() - started
     return name, rows, time.perf_counter() - started
 
 
@@ -212,8 +222,10 @@ def run_specs(tasks: Sequence[tuple[str, ExperimentScale, Mapping]],
     """Run several experiment drivers concurrently.
 
     ``tasks`` is a list of ``(name, scale, axis_values)``; returns
-    ``{name: (rows, elapsed_s)}``.  Used by ``repro run --all --jobs N`` to
-    spread independent drivers over worker processes.
+    ``{name: (rows, elapsed_s)}``, where ``rows`` is the driver's
+    configuration ``ValueError`` instead of a row list if it rejected the
+    overrides.  Used by ``repro run --all --jobs N`` to spread independent
+    drivers over worker processes.
     """
     if not tasks:
         return {}

@@ -71,6 +71,11 @@ class ExperimentSpec:
     #: Such drivers must not share the machine with concurrent workers, so
     #: ``run --all --jobs N`` keeps them out of the worker pool.
     wall_clock: bool = False
+    #: True for drivers that pin their own simulated duration/warmup
+    #: (scenarios: fault phase times are absolute simulated seconds).  The
+    #: CLI ignores ``--duration``/``--warmup`` for them — with a note — and
+    #: keeps the ignored values out of the recorded ``config_id``.
+    pins_duration: bool = False
 
     @property
     def description(self) -> str:
@@ -239,6 +244,27 @@ def _register_all() -> None:
         title="Simulator speed — wall-clock microbenchmark",
         axes={AXIS_CLUSTER: _kwarg_axis("n_nodes")},
         wall_clock=True))
+    _register_scenarios()
+
+
+def _register_scenarios() -> None:
+    """Register every shipped declarative scenario as ``scenario:<name>``.
+
+    Scenario drivers take ``n_nodes`` / ``workers`` as scalar keyword axes,
+    so ``repro sweep scenario:<name> --cluster-sizes 4,7`` sweeps the same
+    spec over cluster sizes with the usual resume/--jobs machinery.
+    """
+    from repro.scenarios import library as scenario_library
+
+    for name in scenario_library.names():
+        spec = scenario_library.get(name)
+        register(ExperimentSpec(
+            name=scenario_library.PREFIX + name,
+            func=scenario_library.driver_for(spec),
+            title=f"Scenario — {name}",
+            axes={AXIS_CLUSTER: _kwarg_axis("n_nodes"),
+                  AXIS_WORKERS: _kwarg_axis("workers")},
+            pins_duration=True))
 
 
 _register_all()

@@ -56,8 +56,23 @@ def config_id(experiment: str, scale: ExperimentScale, params: Mapping) -> str:
     return digest[:16]
 
 
+def file_stem(experiment: str) -> str:
+    """Filesystem-safe stem for an experiment name.
+
+    Scenario experiments are registered as ``scenario:<name>`` and ``:`` is
+    not a legal filename character on Windows, so result/shard/CSV files use
+    ``--`` in its place; :func:`experiment_from_stem` inverts the mapping.
+    """
+    return experiment.replace(":", "--")
+
+
+def experiment_from_stem(stem: str) -> str:
+    """Invert :func:`file_stem` (registry names never contain ``--``)."""
+    return stem.replace("--", ":")
+
+
 def results_path(results_dir: "str | Path", experiment: str) -> Path:
-    return Path(results_dir) / f"{experiment}.jsonl"
+    return Path(results_dir) / f"{file_stem(experiment)}.jsonl"
 
 
 def recorded_ids(path: "str | Path") -> set[str]:

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
 from repro.experiments import registry
+from repro.experiments.sweep import experiment_from_stem
 
 _EXPECTATION_KEYS = ("expectation",)
 
@@ -54,7 +55,7 @@ def load_results(results_dir: "str | Path") -> dict[str, list[dict]]:
                 except json.JSONDecodeError:
                     continue  # tolerate a truncated trailing line
         if records:
-            found[path.stem] = records
+            found[experiment_from_stem(path.stem)] = records
     known = [name for name in registry.names() if name in found]
     unknown = sorted(name for name in found if name not in set(known))
     ordered: dict[str, list[dict]] = {}
@@ -164,6 +165,13 @@ def _shared_expectation(rows: Sequence[Mapping]) -> Optional[str]:
     return None
 
 
+def _scenario_spec(name: str):
+    """The ScenarioSpec behind a ``scenario:<name>`` section, if any."""
+    from repro.scenarios import library
+
+    return library.lookup(name) if name.startswith(library.PREFIX) else None
+
+
 def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
     try:
         spec = registry.get(name)
@@ -177,6 +185,18 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
     lines = [f"## {title}", ""]
     if description:
         lines += [description, ""]
+    scenario = _scenario_spec(name)
+    if scenario is not None:
+        summary = scenario.summary()
+        lines += [
+            f"- **Topology:** {summary['topology']}",
+            f"- **Workload:** {summary['workload']}",
+            f"- **Faults:** {summary['faults']}",
+            f"- **Run:** {scenario.duration:g}s simulated "
+            f"({scenario.warmup:g}s warmup), defaults n={scenario.n_nodes}, "
+            f"workers={scenario.workers}, batch={scenario.batch_size}",
+            "",
+        ]
     meta = (f"*{len(records)} configuration(s), {len(rows)} row(s); "
             f"scale: {', '.join(scales)}; "
             f"seed(s): {', '.join(str(s) for s in seeds) or '?'}.*")
@@ -187,6 +207,32 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
         lines += [f"Paper expectation: {expectation}.", ""]
     lines += [markdown_table(rows, table_columns(rows, exclude=exclude)), ""]
     return "\n".join(lines)
+
+
+def _scenario_preamble() -> list[str]:
+    """The generated "scenarios" note: shipped names + how to write one."""
+    from repro.scenarios import library
+
+    lines = [
+        "## Scenarios",
+        "",
+        "Beyond the paper's figures, the repo ships declarative *scenarios*",
+        "(`src/repro/scenarios/`): one spec composes a WAN topology, a",
+        "workload shape and a fault timeline, and runs via",
+        "`python -m repro run scenario:<name>` (sweepable over",
+        "`--cluster-sizes` / `--workers` like any experiment).  Shipped:",
+        "",
+    ]
+    for name in library.names():
+        spec = library.get(name)
+        lines.append(f"- `scenario:{name}` — {spec.description}")
+    lines += [
+        "",
+        "New scenarios are specs, not code — see \"Writing a scenario\" in",
+        "README.md for a worked TOML/dict example.",
+        "",
+    ]
+    return lines
 
 
 def render_experiments_md(results: Mapping[str, Sequence[Mapping]]) -> str:
@@ -223,6 +269,7 @@ def render_experiments_md(results: Mapping[str, Sequence[Mapping]]) -> str:
         "pooled-timer optimisations, and `current` rows record the speedup.",
         "",
     ]
+    lines += _scenario_preamble()
     if not results:
         lines += ["*(no results recorded yet — run `python -m repro run --all`)*", ""]
         return "\n".join(lines)

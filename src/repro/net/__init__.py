@@ -3,8 +3,11 @@
 Models a fully connected cluster of nodes with per-link propagation latency,
 per-node egress bandwidth (NIC serialisation), a per-message/per-byte RPC
 stack cost and pluggable fault controllers (drops, partitions, slow links).
-The two latency models mirror the paper's deployments: a single Amazon
-data-center and a ten-region geo-distributed cluster.
+Two latency models mirror the paper's deployments (a single Amazon
+data-center and a ten-region geo-distributed cluster);
+:class:`~repro.net.latency.WanTopologyLatency` generalises them to arbitrary
+multi-region topologies with per-link latency and bandwidth matrices for the
+declarative scenario layer.
 """
 
 from repro.net.latency import (
@@ -13,6 +16,7 @@ from repro.net.latency import (
     LatencyModel,
     SingleDatacenterLatency,
     UniformLatency,
+    WanTopologyLatency,
 )
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network, NetworkStats
@@ -33,6 +37,7 @@ __all__ = [
     "SingleDatacenterLatency",
     "GeoDistributedLatency",
     "UniformLatency",
+    "WanTopologyLatency",
     "GEO_REGIONS",
     "FaultController",
     "MessageLossFault",

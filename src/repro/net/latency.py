@@ -1,9 +1,16 @@
-"""Link latency models for the two deployments evaluated in the paper."""
+"""Link latency models: the paper's two deployments plus general WAN matrices.
+
+``SingleDatacenterLatency`` and ``GeoDistributedLatency`` mirror the paper's
+LAN and ten-region evaluations; :class:`WanTopologyLatency` generalises them
+to arbitrary multi-region topologies with per-link one-way delay and optional
+per-link bandwidth, which is what the declarative scenario layer
+(:mod:`repro.scenarios`) builds from a :class:`~repro.scenarios.spec.TopologySpec`.
+"""
 
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 
 class LatencyModel:
@@ -16,6 +23,17 @@ class LatencyModel:
     def base_delay(self, src: int, dst: int) -> float:
         """Deterministic component of the link delay (no jitter)."""
         raise NotImplementedError
+
+    def transfer_delay(self, src: int, dst: int, size_bytes: int) -> float:
+        """Size-dependent serialisation time on the ``src -> dst`` path.
+
+        Models constrained WAN links: the time ``size_bytes`` occupies the
+        path on top of propagation delay and on top of the per-node NIC cost
+        the :class:`~repro.net.network.Network` already charges.  The default
+        is 0 (links are only latency-bound, as in the paper's deployments);
+        :class:`WanTopologyLatency` derives it from per-link bandwidth.
+        """
+        return 0.0
 
 
 class UniformLatency(LatencyModel):
@@ -158,3 +176,68 @@ class GeoDistributedLatency(LatencyModel):
         base = self.base_delay(src, dst)
         factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
         return base * factor
+
+
+class WanTopologyLatency(LatencyModel):
+    """General multi-region WAN: explicit node placement, per-link matrices.
+
+    ``assignment`` maps every node id to a region name.  Cross-region one-way
+    delays come from ``one_way_s`` (keyed by ``frozenset({a, b})``, seconds);
+    pairs absent from the matrix fall back to ``default_one_way``.
+    Intra-region delay is the region's entry in ``local_one_way`` (or
+    ``default_local_one_way``).  ``bandwidth_bps`` optionally caps cross-region
+    links: :meth:`transfer_delay` then charges ``size / bandwidth`` per
+    message on that link, modelling thin WAN pipes independently of the
+    per-node NIC model.  All lookups are precomputed into dense n x n
+    matrices, so the per-message cost matches the paper-preset models.
+    """
+
+    def __init__(self, assignment: Sequence[str],
+                 one_way_s: Optional[Mapping[frozenset, float]] = None,
+                 local_one_way: Optional[Mapping[str, float]] = None,
+                 default_one_way: float = 0.040,
+                 default_local_one_way: float = 0.25e-3,
+                 bandwidth_bps: Optional[Mapping[frozenset, float]] = None,
+                 default_bandwidth_bps: Optional[float] = None,
+                 jitter: float = 0.08) -> None:
+        if not assignment:
+            raise ValueError("assignment must place at least one node")
+        if default_one_way < 0 or default_local_one_way < 0:
+            raise ValueError("delays must be non-negative")
+        self.assignment = tuple(assignment)
+        self.regions = tuple(dict.fromkeys(self.assignment))
+        self.jitter = jitter
+        one_way_s = dict(one_way_s or {})
+        local_one_way = dict(local_one_way or {})
+        bandwidth_bps = dict(bandwidth_bps or {})
+        n = len(self.assignment)
+        self._delay = [[0.0] * n for _ in range(n)]
+        self._inv_bandwidth = [[0.0] * n for _ in range(n)]
+        for src in range(n):
+            for dst in range(n):
+                a, b = self.assignment[src], self.assignment[dst]
+                if a == b:
+                    self._delay[src][dst] = local_one_way.get(
+                        a, default_local_one_way)
+                    continue  # intra-region links are never bandwidth-capped
+                key = frozenset((a, b))
+                self._delay[src][dst] = one_way_s.get(key, default_one_way)
+                bandwidth = bandwidth_bps.get(key, default_bandwidth_bps)
+                if bandwidth is not None:
+                    if bandwidth <= 0:
+                        raise ValueError("link bandwidth must be positive")
+                    self._inv_bandwidth[src][dst] = 1.0 / bandwidth
+
+    def region_of(self, node_id: int) -> str:
+        """Region hosting ``node_id``."""
+        return self.assignment[node_id]
+
+    def base_delay(self, src: int, dst: int) -> float:
+        return self._delay[src][dst]
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
+        return self._delay[src][dst] * factor
+
+    def transfer_delay(self, src: int, dst: int, size_bytes: int) -> float:
+        return size_bytes * self._inv_bandwidth[src][dst]

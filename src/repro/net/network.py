@@ -123,12 +123,20 @@ class Network:
 
     Delivery of one message goes through, in order: sender-side RPC stack cost
     and NIC serialisation (shared across all protocol instances on the node),
-    link propagation latency drawn from the latency model, receiver-side RPC
-    stack cost, then the message is placed in the receiver's mailbox.  A fault
-    controller may drop the message or add delay.  Crashed endpoints neither
-    send nor receive.  Links are reliable by default (no loss, no duplication,
-    no reordering beyond what differing latencies produce), matching the
-    system model of Section 3.1.
+    link propagation latency drawn from the latency model plus the model's
+    size-dependent :meth:`~repro.net.latency.LatencyModel.transfer_delay`
+    (non-zero only on bandwidth-capped WAN links), receiver-side RPC stack
+    cost, then the message is handed to the receiver endpoint's installed
+    ``router`` (FLO nodes route to per-protocol inboxes) or, absent one, its
+    default mailbox.  A fault controller may drop the message or add delay;
+    both :meth:`send` and :meth:`broadcast` decide drops *before* reserving
+    NIC time, so injected losses never consume egress capacity — see the
+    per-method docstrings for the exact return contracts.  Crashed endpoints
+    neither send nor receive: sends from a crashed node return ``None``
+    (broadcasts return ``[]``), and in-flight messages to a node that crashes
+    before delivery are counted as dropped.  Links are otherwise reliable (no
+    loss, no duplication, no reordering beyond what differing latencies
+    produce), matching the system model of Section 3.1.
     """
 
     def __init__(self, env: Environment, n_nodes: int,
@@ -176,10 +184,14 @@ class Network:
              payload: Any, size_bytes: int = MESSAGE_OVERHEAD_BYTES) -> Optional[Message]:
         """Send one message; returns it, or ``None`` if it was dropped.
 
-        A fault-controller drop is decided *before* the sender's NIC lane is
-        reserved: dropped traffic consumes neither egress nor ingress time, so
-        an injected loss cannot delay the sender's subsequent messages.  (The
-        drop still counts in ``stats`` as one message sent and one dropped.)
+        ``None`` means the message never left: either the sender has crashed
+        (nothing is recorded in ``stats``) or the fault controller dropped it
+        (recorded as one message sent *and* one dropped).  A fault-controller
+        drop is decided *before* the sender's NIC lane is reserved: dropped
+        traffic consumes neither egress nor ingress time, so an injected loss
+        cannot delay the sender's subsequent messages.  A non-``None`` return
+        only promises the message is in flight — the receiver may still crash
+        before the delivery completes.
         """
         if not 0 <= sender < self.n_nodes or not 0 <= receiver < self.n_nodes:
             raise ValueError(f"invalid endpoint ids sender={sender} receiver={receiver}")
@@ -202,7 +214,9 @@ class Network:
             return None
 
         serialisation_done = source.reserve_nic(message.size_bytes)
-        propagation = self.latency_model.sample(sender, receiver, self.rng)
+        propagation = (self.latency_model.sample(sender, receiver, self.rng)
+                       + self.latency_model.transfer_delay(sender, receiver,
+                                                           message.size_bytes))
         extra = 0.0
         if self.fault_controller is not None:
             extra = self.fault_controller.extra_delay(message, self.env.now, self.rng)
@@ -237,6 +251,11 @@ class Network:
         stats = self.stats
         fault = self.fault_controller
         sample = self.latency_model.sample
+        # Skip the per-copy transfer_delay call entirely for models that keep
+        # the base class's zero-cost default (every link latency-bound only).
+        transfer = None
+        if type(self.latency_model).transfer_delay is not LatencyModel.transfer_delay:
+            transfer = self.latency_model.transfer_delay
         rng = self.rng
         endpoints = self.endpoints
         complete = self._complete_delivery
@@ -274,6 +293,8 @@ class Network:
             free_at += cost
             egress_copies += 1
             not_before = free_at + sample(sender, receiver, rng)
+            if transfer is not None:
+                not_before += transfer(sender, receiver, wire_bytes)
             if fault is not None:
                 not_before += fault.extra_delay(message, now, rng)
             received_at = endpoints[receiver].reserve_ingress(

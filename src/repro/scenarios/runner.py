@@ -1,0 +1,103 @@
+"""Execute a :class:`~repro.scenarios.spec.ScenarioSpec` on the simulator.
+
+The runner translates the declarative spec into the concrete knobs of
+:func:`~repro.core.cluster.run_fireledger_cluster`: topology -> latency
+model, workload -> ``fill_blocks`` / client population, fault schedule ->
+timed crash/recover events + fault controller + Byzantine membership +
+metric-exclusion set.  It returns plain result-row dicts shaped like the
+figure drivers', so scenarios plug into the experiment registry, the sweep
+engine and the report renderer unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.core.cluster import run_fireledger_cluster
+from repro.core.config import FireLedgerConfig
+from repro.scenarios.spec import ScenarioSpec
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid a registry cycle
+    from repro.experiments.harness import ExperimentScale
+
+
+def run_scenario(spec: ScenarioSpec,
+                 scale: "Optional[ExperimentScale]" = None,
+                 n_nodes: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 seed: Optional[int] = None) -> list[dict]:
+    """Run one scenario; returns one result row (as a single-item list).
+
+    ``n_nodes`` / ``workers`` override the spec (that is how the registry's
+    ``cluster_size`` / ``workers`` sweep axes reach a scenario); ``seed``
+    defaults to the scale's seed.  Durations come from the spec, not the
+    scale — fault phase times are absolute simulated seconds, so shrinking
+    the run would silently skip scheduled faults.
+    """
+    if scale is None:
+        # Local import: repro.experiments pulls in the registry, which in
+        # turn imports this package to register the scenario library.
+        from repro.experiments.harness import ExperimentScale
+        scale = ExperimentScale()
+    if n_nodes is not None or workers is not None:
+        overrides = {}
+        if n_nodes is not None:
+            overrides["n_nodes"] = n_nodes
+        if workers is not None:
+            overrides["workers"] = workers
+        spec = spec.with_overrides(**overrides)  # re-validates fault node ids
+    seed = scale.seed if seed is None else seed
+
+    config = FireLedgerConfig(
+        n_nodes=spec.n_nodes, workers=spec.workers,
+        batch_size=spec.batch_size, tx_size=spec.tx_size,
+        fill_blocks=spec.workload.fill_blocks,
+        **dict(spec.config_overrides))
+
+    schedule = spec.faults
+    workload_box: list = []
+
+    def _setup(env, network, nodes) -> None:
+        schedule.install(env, network)
+        workload = spec.workload.build(env, nodes, seed=seed)
+        if workload is not None:
+            workload_box.append(workload)
+
+    result = run_fireledger_cluster(
+        config,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        seed=seed,
+        latency_model=spec.topology.build(spec.n_nodes),
+        byzantine_nodes=schedule.byzantine_nodes or None,
+        fault_controller=schedule.controller(),
+        setup=_setup,
+        excluded_nodes=schedule.excluded_nodes(),
+    )
+
+    row = {
+        "scenario": spec.name,
+        "n": spec.n_nodes,
+        "workers": spec.workers,
+        "batch": spec.batch_size,
+        "tx_size": spec.workload.tx_size if not spec.workload.fill_blocks else spec.tx_size,
+        "workload": spec.workload.shape,
+        "tps": round(result.tps, 1),
+        "bps": round(result.bps, 2),
+        "latency_p50_ms": round(result.latency.p50 * 1000, 1),
+        "latency_p95_ms": round(result.latency.p95 * 1000, 1),
+        "fast_rounds": result.fast_path_rounds,
+        "fallback_rounds": result.fallback_rounds,
+        "failed_rounds": result.failed_rounds,
+        "recoveries": result.recoveries,
+        "msgs_dropped": result.network.messages_dropped,
+    }
+    if workload_box:
+        workload = workload_box[0]
+        row["submitted_tx"] = workload.total_submitted
+        completed = workload.total_completed
+        if completed:
+            row["completed_req"] = completed
+    return [row]

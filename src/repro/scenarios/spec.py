@@ -1,0 +1,388 @@
+"""Declarative scenario specs: topology x workload x faults in one object.
+
+A :class:`ScenarioSpec` composes three orthogonal dimensions —
+
+* :class:`TopologySpec` — where the nodes live: the paper's LAN, the paper's
+  ten-region WAN, or an arbitrary multi-region WAN with per-link latency and
+  bandwidth matrices (compiled to a
+  :class:`~repro.net.latency.WanTopologyLatency`);
+* :class:`WorkloadSpec` — how load arrives: saturated blocks (the paper's
+  mode), open-loop Poisson clients, closed-loop clients, bursty or ramped
+  arrival rates, optionally hotspot-skewed across nodes;
+* :class:`~repro.scenarios.faultplan.FaultSchedule` — what goes wrong and
+  when: timed crash/recover, partition / loss / slow-link windows, Byzantine
+  membership.
+
+Every spec is a frozen dataclass buildable from plain dicts
+(:meth:`ScenarioSpec.from_dict`) or TOML text (:meth:`ScenarioSpec.from_toml`,
+Python >= 3.11), so adding a scenario is spec-writing, not code-writing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping, Optional
+
+from repro.net.latency import (
+    GeoDistributedLatency,
+    LatencyModel,
+    SingleDatacenterLatency,
+    WanTopologyLatency,
+)
+from repro.scenarios.faultplan import FaultSchedule
+from repro.workload.clients import (
+    BurstRate,
+    ClientWorkload,
+    ClosedLoopClient,
+    ConstantRate,
+    OpenLoopClient,
+    RampRate,
+    hotspot_weights,
+)
+
+TOPOLOGY_KINDS = ("lan", "paper-geo", "regions")
+WORKLOAD_SHAPES = ("saturated", "open-loop", "closed-loop", "bursty", "ramp")
+
+
+def _check_unknown(data: Mapping, cls) -> None:
+    unknown = sorted(set(data) - {f.name for f in fields(cls)})
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} keys: {unknown}")
+
+
+# ------------------------------------------------------------------ topology
+@dataclass(frozen=True)
+class RegionSpec:
+    """One region of a WAN topology."""
+
+    name: str
+    #: Nodes placed here when the cluster size matches the topology's total.
+    nodes: int = 1
+    #: Intra-region one-way delay in milliseconds.
+    local_ms: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("a region hosts at least one node")
+        if self.local_ms < 0:
+            raise ValueError("local_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One inter-region link: symmetric one-way delay, optional bandwidth."""
+
+    a: str
+    b: str
+    one_way_ms: float
+    bandwidth_mbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.one_way_ms < 0:
+            raise ValueError("one_way_ms must be non-negative")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Where the cluster's nodes are placed and what links cost.
+
+    ``kind``:
+
+    * ``"lan"`` — the paper's single data-center
+      (:class:`~repro.net.latency.SingleDatacenterLatency`);
+    * ``"paper-geo"`` — the paper's ten-AWS-region matrix
+      (:class:`~repro.net.latency.GeoDistributedLatency`);
+    * ``"regions"`` — explicit :attr:`regions` + :attr:`links`, compiled to a
+      :class:`~repro.net.latency.WanTopologyLatency`.  When the cluster size
+      equals the topology's total node count, nodes fill regions in order;
+      otherwise they are placed round-robin so the same topology can be swept
+      over cluster sizes.
+    """
+
+    kind: str = "lan"
+    regions: tuple[RegionSpec, ...] = ()
+    links: tuple[LinkSpec, ...] = ()
+    #: Fallback one-way delay for region pairs without an explicit link.
+    default_one_way_ms: float = 40.0
+    #: Fallback per-link bandwidth (None = latency-bound only).
+    default_bandwidth_mbps: Optional[float] = None
+    jitter: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(f"unknown topology kind {self.kind!r}; "
+                             f"known: {', '.join(TOPOLOGY_KINDS)}")
+        if self.kind == "regions":
+            if not self.regions:
+                raise ValueError("a 'regions' topology needs regions")
+            names = [region.name for region in self.regions]
+            if len(set(names)) != len(names):
+                raise ValueError("region names must be unique")
+            seen_pairs: set[frozenset] = set()
+            for link in self.links:
+                for end in (link.a, link.b):
+                    if end not in names:
+                        raise ValueError(f"link references unknown region {end!r}")
+                if link.a == link.b:
+                    raise ValueError(
+                        f"link {link.a!r}-{link.b!r} connects a region to "
+                        f"itself; set the region's local_ms instead")
+                pair = frozenset((link.a, link.b))
+                if pair in seen_pairs:
+                    raise ValueError(
+                        f"duplicate link for regions {link.a!r}-{link.b!r} "
+                        f"(links are symmetric; specify each pair once)")
+                seen_pairs.add(pair)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TopologySpec":
+        _check_unknown(data, cls)
+        kwargs = dict(data)
+        if "regions" in kwargs:
+            kwargs["regions"] = tuple(
+                region if isinstance(region, RegionSpec) else RegionSpec(**region)
+                for region in kwargs["regions"])
+        if "links" in kwargs:
+            kwargs["links"] = tuple(
+                link if isinstance(link, LinkSpec) else LinkSpec(**link)
+                for link in kwargs["links"])
+        return cls(**kwargs)
+
+    def assignment(self, n_nodes: int) -> tuple[str, ...]:
+        """Region name per node id for a cluster of ``n_nodes``."""
+        if self.kind != "regions":
+            raise ValueError("only 'regions' topologies place nodes explicitly")
+        total = sum(region.nodes for region in self.regions)
+        if n_nodes == total:
+            placed: list[str] = []
+            for region in self.regions:
+                placed.extend([region.name] * region.nodes)
+            return tuple(placed)
+        names = [region.name for region in self.regions]
+        return tuple(names[i % len(names)] for i in range(n_nodes))
+
+    def build(self, n_nodes: int) -> LatencyModel:
+        """Compile this topology into a latency model for ``n_nodes``."""
+        if self.kind == "lan":
+            return SingleDatacenterLatency()
+        if self.kind == "paper-geo":
+            return GeoDistributedLatency(jitter=self.jitter)
+        one_way = {frozenset((link.a, link.b)): link.one_way_ms * 1e-3
+                   for link in self.links}
+        bandwidth = {frozenset((link.a, link.b)): link.bandwidth_mbps * 125_000.0
+                     for link in self.links if link.bandwidth_mbps is not None}
+        default_bw = (self.default_bandwidth_mbps * 125_000.0
+                      if self.default_bandwidth_mbps is not None else None)
+        return WanTopologyLatency(
+            assignment=self.assignment(n_nodes),
+            one_way_s=one_way,
+            local_one_way={r.name: r.local_ms * 1e-3 for r in self.regions},
+            default_one_way=self.default_one_way_ms * 1e-3,
+            bandwidth_bps=bandwidth,
+            default_bandwidth_bps=default_bw,
+            jitter=self.jitter)
+
+    def summary(self) -> str:
+        if self.kind == "lan":
+            return "single data-center LAN"
+        if self.kind == "paper-geo":
+            return "paper's ten-AWS-region WAN"
+        parts = ", ".join(f"{r.name}({r.nodes})" for r in self.regions)
+        capped = sum(1 for link in self.links if link.bandwidth_mbps is not None)
+        suffix = f", {capped} bandwidth-capped link(s)" if capped else ""
+        return f"{len(self.regions)}-region WAN [{parts}]{suffix}"
+
+
+# ------------------------------------------------------------------ workload
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How transactions arrive at the cluster.
+
+    ``shape``:
+
+    * ``"saturated"`` — the paper's mode: every block topped up with
+      synthetic transactions, no explicit clients;
+    * ``"open-loop"`` — ``n_clients`` Poisson clients at ``rate_per_client``;
+    * ``"closed-loop"`` — ``n_clients`` clients with one request in flight
+      each, thinking ``think_time`` seconds between requests;
+    * ``"bursty"`` — open-loop whose rate alternates between
+      ``rate_per_client`` and ``burst_factor * rate_per_client`` with period
+      ``burst_period`` and duty cycle ``burst_duty``;
+    * ``"ramp"`` — open-loop whose rate ramps from ``rate_per_client`` to
+      ``ramp_factor * rate_per_client`` over ``ramp_time`` seconds.
+
+    ``hotspot_skew`` > 0 skews every non-saturated shape's node choice
+    toward low-numbered nodes (Zipf-like, node 0 hottest).
+    """
+
+    shape: str = "saturated"
+    n_clients: int = 0
+    rate_per_client: float = 200.0
+    tx_size: int = 512
+    think_time: float = 0.01
+    burst_factor: float = 10.0
+    burst_period: float = 0.4
+    burst_duty: float = 0.25
+    ramp_factor: float = 10.0
+    ramp_time: float = 1.0
+    hotspot_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shape not in WORKLOAD_SHAPES:
+            raise ValueError(f"unknown workload shape {self.shape!r}; "
+                             f"known: {', '.join(WORKLOAD_SHAPES)}")
+        if self.shape != "saturated" and self.n_clients < 1:
+            raise ValueError(f"{self.shape} workload needs n_clients >= 1")
+        if self.rate_per_client <= 0:
+            raise ValueError("rate_per_client must be positive")
+        if self.tx_size <= 0:
+            raise ValueError("tx_size must be positive")
+        if self.hotspot_skew < 0:
+            raise ValueError("hotspot_skew must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        _check_unknown(data, cls)
+        return cls(**data)
+
+    @property
+    def fill_blocks(self) -> bool:
+        """Whether the cluster should run in saturated-block mode."""
+        return self.shape == "saturated"
+
+    def _rate_shape(self):
+        if self.shape == "bursty":
+            return BurstRate(base=self.rate_per_client,
+                             burst=self.rate_per_client * self.burst_factor,
+                             period=self.burst_period, duty=self.burst_duty)
+        if self.shape == "ramp":
+            return RampRate(start=self.rate_per_client,
+                            end=self.rate_per_client * self.ramp_factor,
+                            ramp_time=self.ramp_time)
+        return ConstantRate(self.rate_per_client)
+
+    def build(self, env, nodes, seed: int = 0) -> Optional[ClientWorkload]:
+        """Attach this workload's client population (None when saturated)."""
+        if self.shape == "saturated":
+            return None
+        import random
+
+        rng = random.Random(seed ^ 0x5CE7A310)
+        weights = (hotspot_weights(len(nodes), self.hotspot_skew)
+                   if self.hotspot_skew else None)
+        clients = []
+        for client_id in range(self.n_clients):
+            client_rng = random.Random(rng.randrange(2 ** 62))
+            if self.shape == "closed-loop":
+                clients.append(ClosedLoopClient(
+                    env, client_id, nodes, think_time=self.think_time,
+                    tx_size=self.tx_size, rng=client_rng, weights=weights))
+            else:
+                clients.append(OpenLoopClient(
+                    env, client_id, nodes, self._rate_shape(),
+                    tx_size=self.tx_size, rng=client_rng, weights=weights))
+        workload = ClientWorkload.from_clients(env, clients)
+        workload.start()
+        return workload
+
+    def summary(self) -> str:
+        if self.shape == "saturated":
+            return "saturated blocks (paper mode)"
+        base = f"{self.n_clients} {self.shape} client(s)"
+        if self.shape == "closed-loop":
+            base += f", think {self.think_time:g}s"
+        elif self.shape == "bursty":
+            base += (f" at {self.rate_per_client:g} tx/s bursting x"
+                     f"{self.burst_factor:g} every {self.burst_period:g}s")
+        elif self.shape == "ramp":
+            base += (f" ramping {self.rate_per_client:g} -> "
+                     f"{self.rate_per_client * self.ramp_factor:g} tx/s "
+                     f"over {self.ramp_time:g}s")
+        else:
+            base += f" at {self.rate_per_client:g} tx/s"
+        if self.hotspot_skew:
+            base += f", hotspot skew {self.hotspot_skew:g}"
+        return base
+
+
+# ------------------------------------------------------------------ scenario
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully declarative experiment scenario."""
+
+    name: str
+    description: str = ""
+    n_nodes: int = 4
+    workers: int = 1
+    batch_size: int = 100
+    tx_size: int = 512
+    #: Simulated run length / measurement warmup in seconds.  Scenarios pin
+    #: their own durations (fault phase times are absolute), so the scale
+    #: presets only contribute the seed.
+    duration: float = 1.0
+    warmup: float = 0.2
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Extra ``FireLedgerConfig`` fields, e.g. ``(("permute_every", 16),)``.
+    config_overrides: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.n_nodes < 4:
+            raise ValueError("FireLedger scenarios need n_nodes >= 4")
+        if self.duration <= 0 or not 0 <= self.warmup < self.duration:
+            raise ValueError("require duration > 0 and 0 <= warmup < duration")
+        self.faults.validate(self.n_nodes)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Build a spec from nested plain dicts (the TOML document shape)."""
+        _check_unknown(data, cls)
+        kwargs = dict(data)
+        if "topology" in kwargs and not isinstance(kwargs["topology"], TopologySpec):
+            kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
+        if "workload" in kwargs and not isinstance(kwargs["workload"], WorkloadSpec):
+            kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        faults = kwargs.get("faults")
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            # Accept both {"phases": [...]} and a bare phase list.
+            phases = faults["phases"] if isinstance(faults, Mapping) else faults
+            kwargs["faults"] = FaultSchedule.from_dicts(phases)
+        if "config_overrides" in kwargs:
+            overrides = kwargs["config_overrides"]
+            if isinstance(overrides, Mapping):
+                overrides = tuple(sorted(overrides.items()))
+            kwargs["config_overrides"] = tuple(
+                (key, value) for key, value in overrides)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        """Parse a TOML document (top-level scenario keys) into a spec.
+
+        Requires :mod:`tomllib` (Python >= 3.11).  On older interpreters use
+        :meth:`from_dict` with any dict source (JSON, literal, YAML...).
+        """
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python 3.10 fallback
+            raise RuntimeError(
+                "TOML scenario files need Python >= 3.11 (tomllib); "
+                "build the spec with ScenarioSpec.from_dict instead") from None
+        return cls.from_dict(tomllib.loads(text))
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """Copy with selected fields replaced (used by sweep axes)."""
+        return replace(self, **overrides)
+
+    def summary(self) -> dict[str, str]:
+        """The three dimensions as short strings, for the report renderer."""
+        return {
+            "topology": self.topology.summary(),
+            "workload": self.workload.summary(),
+            "faults": self.faults.summary(),
+        }

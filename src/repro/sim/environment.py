@@ -19,9 +19,17 @@ class EmptySchedule(Exception):
 class Environment:
     """Discrete-event simulation environment.
 
-    Time is a float in *seconds*.  Events scheduled at the same instant are
-    processed in FIFO order of scheduling (stable tie-break), which keeps
-    every run fully deterministic.
+    Time is a float in *seconds*.  The queue orders entries by
+    ``(time, priority, sequence)``: same-instant entries run in ascending
+    ``priority`` (see :meth:`schedule_event`), then in FIFO order of
+    scheduling, which keeps every run fully deterministic.
+
+    Two kinds of entries share the queue: regular :class:`Event` objects
+    (yieldable, composable, with callback lists) and the pooled
+    :class:`ScheduledCallback` timers created by :meth:`call_later`, which
+    :meth:`step` dispatches on a dedicated fast path and recycles into a
+    free pool (capped at ``_CALLBACK_POOL_MAX`` instances) so per-message
+    delivery timers allocate nothing in the steady state.
     """
 
     def __init__(self, initial_time: float = 0.0, strict_errors: bool = True) -> None:
@@ -91,7 +99,14 @@ class Environment:
 
     # ------------------------------------------------------------ scheduling
     def schedule_event(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        """Queue ``event`` for processing ``delay`` seconds from now."""
+        """Queue ``event`` for processing ``delay`` seconds from now.
+
+        ``priority`` breaks same-instant ties: lower values run first, and
+        entries with equal priority run in scheduling order.  Everything the
+        kernel schedules (including :meth:`call_later` timers) uses the
+        default priority 1, so the knob exists for callers that must run
+        before or after the normal event traffic of one instant.
+        """
         self._sequence += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
 
@@ -102,7 +117,16 @@ class Environment:
         return self._queue[0][0]
 
     def step(self) -> None:
-        """Process the next scheduled event."""
+        """Process the next scheduled queue entry and advance the clock.
+
+        Pooled :meth:`call_later` timers take a fast path: the callback and
+        argument are read off the :class:`ScheduledCallback`, the instance is
+        recycled *before* the callback runs (safe because a re-entrant
+        ``call_later`` finding it in the pool re-initialises both slots), and
+        no callback list or event finalisation is involved.  Regular events
+        are finalised (timeouts become triggered with their scheduled value)
+        and their callbacks run in registration order.
+        """
         if not self._queue:
             raise EmptySchedule()
         when, _priority, _seq, event = heapq.heappop(self._queue)

@@ -1,5 +1,23 @@
 """Client workload generation for FLO clusters."""
 
-from repro.workload.clients import ClientWorkload, OpenLoopClient
+from repro.workload.clients import (
+    BurstRate,
+    ClientWorkload,
+    ClosedLoopClient,
+    ConstantRate,
+    OpenLoopClient,
+    RampRate,
+    RateShape,
+    hotspot_weights,
+)
 
-__all__ = ["ClientWorkload", "OpenLoopClient"]
+__all__ = [
+    "ClientWorkload",
+    "OpenLoopClient",
+    "ClosedLoopClient",
+    "RateShape",
+    "ConstantRate",
+    "RampRate",
+    "BurstRate",
+    "hotspot_weights",
+]

@@ -1,53 +1,224 @@
-"""Open-loop clients submitting transactions to FLO nodes.
+"""Client populations submitting transactions to FLO nodes.
 
 The paper's evaluation saturates every block with randomly generated
-transactions; these helpers provide the complementary mode — an explicit
-client population submitting write requests at a configurable rate — used by
-the examples and by tests of end-to-end transaction delivery.
+transactions; these helpers provide the complementary modes — explicit client
+populations submitting write requests — used by the examples, the tests of
+end-to-end transaction delivery, and the declarative scenario layer
+(:mod:`repro.scenarios`).  Available shapes:
+
+* :class:`OpenLoopClient` — Poisson arrivals at a fixed or time-varying rate
+  (:class:`ConstantRate`, :class:`RampRate`, :class:`BurstRate`), optionally
+  hotspot-skewed toward a subset of nodes;
+* :class:`ClosedLoopClient` — one request in flight at a time, next request
+  only after the cluster has delivered new transactions (plus think time);
+* :class:`ClientWorkload` — a population of either, with aggregate counters.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.core.flo import FLONode
 from repro.ledger.transaction import Transaction
 from repro.sim import Environment
 
 
-class OpenLoopClient:
-    """One client issuing write requests at an exponential inter-arrival rate."""
+# --------------------------------------------------------------- rate shapes
+class RateShape:
+    """Time-varying arrival rate: ``rate(now)`` in transactions/second."""
 
-    def __init__(self, env: Environment, client_id: int, nodes: Sequence[FLONode],
-                 rate_per_second: float, tx_size: int = 512,
-                 rng: Optional[random.Random] = None) -> None:
+    def rate(self, now: float) -> float:
+        raise NotImplementedError
+
+
+class ConstantRate(RateShape):
+    """The classic open-loop shape: one fixed rate forever."""
+
+    def __init__(self, rate_per_second: float) -> None:
         if rate_per_second <= 0:
             raise ValueError("rate_per_second must be positive")
+        self.rate_per_second = rate_per_second
+
+    def rate(self, now: float) -> float:
+        return self.rate_per_second
+
+
+class RampRate(RateShape):
+    """Linear ramp from ``start`` to ``end`` over ``ramp_time`` seconds."""
+
+    def __init__(self, start: float, end: float, ramp_time: float) -> None:
+        if start <= 0 or end <= 0:
+            raise ValueError("ramp rates must be positive")
+        if ramp_time <= 0:
+            raise ValueError("ramp_time must be positive")
+        self.start = start
+        self.end = end
+        self.ramp_time = ramp_time
+
+    def rate(self, now: float) -> float:
+        progress = min(max(now / self.ramp_time, 0.0), 1.0)
+        return self.start + (self.end - self.start) * progress
+
+
+class BurstRate(RateShape):
+    """Square-wave bursts: ``burst`` rate for the first ``duty`` fraction of
+    every ``period``, ``base`` rate for the rest (a flash-crowd shape)."""
+
+    def __init__(self, base: float, burst: float, period: float,
+                 duty: float = 0.5) -> None:
+        if base <= 0 or burst <= 0:
+            raise ValueError("burst rates must be positive")
+        if period <= 0 or not 0.0 < duty < 1.0:
+            raise ValueError("require period > 0 and 0 < duty < 1")
+        self.base = base
+        self.burst = burst
+        self.period = period
+        self.duty = duty
+
+    def rate(self, now: float) -> float:
+        phase = (now % self.period) / self.period
+        return self.burst if phase < self.duty else self.base
+
+
+def _as_rate_shape(rate: Union[float, int, RateShape]) -> RateShape:
+    return rate if isinstance(rate, RateShape) else ConstantRate(float(rate))
+
+
+def _checked_weights(weights: Optional[Sequence[float]],
+                     nodes: Sequence) -> Optional[list[float]]:
+    """Validate per-node selection weights (shared by both client kinds)."""
+    if weights is None:
+        return None
+    if (len(weights) != len(nodes) or min(weights) < 0 or sum(weights) <= 0):
+        raise ValueError("weights must be non-negative, one per node, "
+                         "with a positive sum")
+    return list(weights)
+
+
+def _pick_node(rng: random.Random, nodes: Sequence,
+               weights: Optional[Sequence[float]]):
+    """Uniform or weighted node choice (shared by both client kinds)."""
+    if weights is None:
+        return rng.choice(nodes)
+    return rng.choices(nodes, weights=weights, k=1)[0]
+
+
+def hotspot_weights(n_nodes: int, skew: float) -> list[float]:
+    """Zipf-like node selection weights: node ``i`` gets ``1/(i+1)**skew``.
+
+    ``skew == 0`` is uniform; larger values concentrate traffic on the
+    low-numbered nodes (node 0 is the hotspot).
+    """
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [1.0 / (i + 1) ** skew for i in range(n_nodes)]
+
+
+class OpenLoopClient:
+    """One client issuing write requests with exponential inter-arrival times.
+
+    ``rate`` is either a fixed transactions/second value or a
+    :class:`RateShape` evaluated at submission time (the inter-arrival gap is
+    drawn from the rate in force when the previous request was issued, which
+    tracks ramps and bursts closely at simulation time scales).  ``weights``
+    optionally skews the per-request node choice (see :func:`hotspot_weights`);
+    the default picks uniformly.
+    """
+
+    def __init__(self, env: Environment, client_id: int, nodes: Sequence[FLONode],
+                 rate_per_second: Union[float, RateShape], tx_size: int = 512,
+                 rng: Optional[random.Random] = None,
+                 weights: Optional[Sequence[float]] = None) -> None:
+        self.shape = _as_rate_shape(rate_per_second)
+        if tx_size <= 0:
+            raise ValueError("tx_size must be positive")
+        if not nodes:
+            raise ValueError("need at least one node to submit to")
         self.env = env
         self.client_id = client_id
         self.nodes = list(nodes)
-        self.rate = rate_per_second
         self.tx_size = tx_size
         self.rng = rng or random.Random(client_id)
+        self.weights = _checked_weights(weights, self.nodes)
         self.submitted: list[Transaction] = []
 
+    @property
+    def rate(self) -> float:
+        """Current arrival rate (transactions/second)."""
+        return self.shape.rate(self.env.now)
+
     def run(self):
-        """Submission process: pick a node uniformly, submit, sleep."""
+        """Submission process: sleep, pick a node, submit."""
         while True:
             yield self.env.timeout(self.rng.expovariate(self.rate))
-            node = self.rng.choice(self.nodes)
-            transaction = node.submit_transaction(size_bytes=self.tx_size,
-                                                  client_id=self.client_id)
+            node = _pick_node(self.rng, self.nodes, self.weights)
+            transaction = node.submit_transaction(
+                size_bytes=self.tx_size, client_id=self.client_id)
             self.submitted.append(transaction)
 
 
+class ClosedLoopClient:
+    """One request outstanding at a time, then think, then the next request.
+
+    Per-transaction completion is approximated: the client polls its target
+    node's ``delivered_transactions`` counter and treats any delivery
+    progress after its submission as completion of its own request (exact
+    per-transaction tracking would require threading client identities
+    through block bodies, which the saturated-mode ledger elides).
+    """
+
+    def __init__(self, env: Environment, client_id: int, nodes: Sequence[FLONode],
+                 think_time: float = 0.0, tx_size: int = 512,
+                 rng: Optional[random.Random] = None,
+                 poll_interval: float = 0.01,
+                 weights: Optional[Sequence[float]] = None) -> None:
+        if tx_size <= 0:
+            raise ValueError("tx_size must be positive")
+        if think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if not nodes:
+            raise ValueError("need at least one node to submit to")
+        self.env = env
+        self.client_id = client_id
+        self.nodes = list(nodes)
+        self.think_time = think_time
+        self.tx_size = tx_size
+        self.rng = rng or random.Random(client_id)
+        self.poll_interval = poll_interval
+        self.weights = _checked_weights(weights, self.nodes)
+        self.submitted: list[Transaction] = []
+        self.completed = 0
+
+    def run(self):
+        """Submit, wait for delivery progress, think, repeat."""
+        while True:
+            node = _pick_node(self.rng, self.nodes, self.weights)
+            before = node.delivered_transactions
+            transaction = node.submit_transaction(size_bytes=self.tx_size,
+                                                  client_id=self.client_id)
+            self.submitted.append(transaction)
+            while node.delivered_transactions <= before:
+                yield self.env.timeout(self.poll_interval)
+            self.completed += 1
+            if self.think_time:
+                yield self.env.timeout(self.rng.expovariate(1.0 / self.think_time))
+
+
 class ClientWorkload:
-    """A population of open-loop clients attached to a cluster."""
+    """A population of clients attached to a cluster.
+
+    The default constructor builds the classic homogeneous open-loop
+    population; :meth:`from_clients` wraps an arbitrary pre-built mix (the
+    scenario layer uses it for bursty / ramped / hotspot / closed-loop
+    populations).
+    """
 
     def __init__(self, env: Environment, nodes: Sequence[FLONode],
-                 n_clients: int, rate_per_client: float, tx_size: int = 512,
-                 seed: int = 0) -> None:
+                 n_clients: int, rate_per_client: Union[float, RateShape],
+                 tx_size: int = 512, seed: int = 0) -> None:
         rng = random.Random(seed)
         self.clients = [
             OpenLoopClient(env, client_id, nodes, rate_per_client, tx_size,
@@ -55,6 +226,14 @@ class ClientWorkload:
             for client_id in range(n_clients)
         ]
         self.env = env
+
+    @classmethod
+    def from_clients(cls, env: Environment, clients: Sequence) -> "ClientWorkload":
+        """Wrap pre-built clients (open- or closed-loop) as one workload."""
+        workload = cls.__new__(cls)
+        workload.env = env
+        workload.clients = list(clients)
+        return workload
 
     def start(self) -> None:
         """Launch every client's submission process."""
@@ -65,3 +244,8 @@ class ClientWorkload:
     def total_submitted(self) -> int:
         """Transactions submitted so far across all clients."""
         return sum(len(client.submitted) for client in self.clients)
+
+    @property
+    def total_completed(self) -> int:
+        """Closed-loop completions observed (0 for open-loop populations)."""
+        return sum(getattr(client, "completed", 0) for client in self.clients)
