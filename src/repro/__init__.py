@@ -6,11 +6,13 @@ deterministic discrete-event simulation substrate.  The public API is exposed
 here:
 
 * :class:`~repro.core.config.FireLedgerConfig` — deployment parameters,
-* :func:`~repro.core.cluster.run_fireledger_cluster` — build/run/measure a
-  FLO cluster,
+* :func:`~repro.core.cluster.run_cluster` — build/run/measure a cluster
+  under any registered :class:`~repro.protocols.base.ConsensusProtocol`
+  (``run_fireledger_cluster`` is its deprecated FireLedger-only alias),
 * :class:`~repro.core.flo.FLONode` / :class:`~repro.core.fireledger.FireLedgerWorker`
   — the orchestrator and the protocol instance,
-* the ``baselines`` subpackage — HotStuff and BFT-SMaRt comparators,
+* the ``protocols`` subpackage — the pluggable protocol registry
+  (FireLedger plus the HotStuff / BFT-SMaRt baselines from ``baselines``),
 * the ``experiments`` subpackage — one driver per table/figure of the paper.
 """
 
@@ -20,6 +22,7 @@ from repro.core import (
     FireLedgerWorker,
     FLONode,
     max_faults,
+    run_cluster,
     run_fireledger_cluster,
 )
 from repro.crypto import CryptoCostModel, MachineSpec
@@ -33,6 +36,7 @@ __all__ = [
     "FireLedgerWorker",
     "FLONode",
     "ClusterResult",
+    "run_cluster",
     "run_fireledger_cluster",
     "max_faults",
     "CryptoCostModel",

@@ -1,23 +1,28 @@
 """Baseline BFT ordering protocols used for the Section 7.6 comparison.
 
 Both baselines run on exactly the same simulated substrate (network, CPU cost
-model, workload) as FireLedger, which makes the comparison of Figures 16 and
-17 an apples-to-apples one in this reproduction:
+model, workload) as FireLedger — since the protocol-pluggable cluster API they
+are :class:`~repro.protocols.base.ConsensusProtocol` implementations driven by
+:func:`repro.core.cluster.run_cluster`, which makes the comparison of Figures
+16 and 17 an apples-to-apples one in this reproduction:
 
 * :mod:`repro.baselines.hotstuff` — chained HotStuff with rotating leaders,
   threshold-of-votes quorum certificates and the three-chain commit rule;
 * :mod:`repro.baselines.bftsmart` — a PBFT-style, leader-driven ordering
   service in the mould of BFT-SMaRt (pre-prepare / prepare / commit).
+
+The historical ``run_hotstuff_cluster`` / ``run_bftsmart_cluster`` helpers
+remain as deprecated aliases; both now return the unified
+:class:`~repro.core.cluster.ClusterResult` (``BaselineResult`` is retired —
+its counters live in ``ClusterResult.breakdown``).
 """
 
-from repro.baselines.bftsmart import BFTSmartCluster, run_bftsmart_cluster
-from repro.baselines.hotstuff import HotStuffCluster, run_hotstuff_cluster
-from repro.baselines.result import BaselineResult
+from repro.baselines.bftsmart import BFTSmartReplica, run_bftsmart_cluster
+from repro.baselines.hotstuff import HotStuffReplica, run_hotstuff_cluster
 
 __all__ = [
     "run_hotstuff_cluster",
     "run_bftsmart_cluster",
-    "HotStuffCluster",
-    "BFTSmartCluster",
-    "BaselineResult",
+    "HotStuffReplica",
+    "BFTSmartReplica",
 ]

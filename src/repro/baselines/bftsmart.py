@@ -14,20 +14,28 @@ comparator (Figure 17) and as FireLedger's own recovery-layer consensus:
 
 Replica authentication uses MAC vectors (cheap) plus one leader signature per
 batch, which matches BFT-SMaRt's cost profile.
+
+Like the HotStuff baseline, replicas expose the duck-typed workload surface
+(``submit_transaction`` / ``delivered_transactions``) backed by a
+:class:`~repro.protocols.base.SharedTxPool`; the stable leader drains the
+pool when saturated blocks are disabled.  Leader re-election is not modelled
+— a crashed or silent node 0 halts the ordering service, which is the
+documented behaviour of the comparison figures (the paper's fault figures
+exercise FireLedger, not the baselines).  Cluster wiring lives in
+:func:`repro.core.cluster.run_cluster` via
+:class:`repro.protocols.bftsmart.BFTSmartProtocol`.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.result import BaselineResult
+from repro.baselines.replica import PooledReplicaMixin
 from repro.core.context import ProtocolContext
 from repro.crypto.cost_model import C5_4XLARGE, CryptoCostModel, MachineSpec
 from repro.crypto.keys import KeyStore
-from repro.metrics.summary import LatencySummary
-from repro.net.latency import LatencyModel, SingleDatacenterLatency
+from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.sim import Environment, Store
 
@@ -50,13 +58,16 @@ class _CommittedBatch:
     committed_at: float
 
 
-class BFTSmartReplica:
+class BFTSmartReplica(PooledReplicaMixin):
     """One replica of the BFT-SMaRt-style ordering service."""
+
+    HEADER_OVERHEAD = _HEADER_OVERHEAD
 
     def __init__(self, env: Environment, network: Network, node_id: int,
                  keystore: KeyStore, f: int, batch_size: int, tx_size: int,
                  cost: CryptoCostModel, instance_timeout: float = 1.0,
-                 channel: str = "bftsmart") -> None:
+                 channel: str = "bftsmart", pool=None,
+                 fill_blocks: bool = True, silent: bool = False) -> None:
         self.env = env
         self.network = network
         self.node_id = node_id
@@ -68,29 +79,38 @@ class BFTSmartReplica:
         self.cost = cost
         self.instance_timeout = instance_timeout
         self.channel = channel
+        self.pool = pool
+        self.fill_blocks = fill_blocks
+        #: Fail-stop adversary model: a silent replica never runs its process.
+        self.silent = silent
         self.context = ProtocolContext(env, network, node_id, channel,
                                        inbox=Store(env))
-        network.endpoint(node_id).router = self.context.inbox.put
+        # A silent replica drops traffic at the network layer (like a crashed
+        # node would); buffering a whole run's broadcasts in a never-drained
+        # inbox would only grow memory.
+        network.endpoint(node_id).router = (
+            (lambda message: None) if silent else self.context.inbox.put)
         self.committed: list[_CommittedBatch] = []
         self.leader = 0
-
-    def _batch_bytes(self) -> int:
-        return self.batch_size * self.tx_size + _HEADER_OVERHEAD
+        self.instances_timed_out = 0
+        self.signatures = 0
+        self.measure_start = 0.0
 
     # ---------------------------------------------------------------- leader
     def run_leader(self):
         """Leader process: keep up to ``PIPELINE_WINDOW`` instances in flight."""
         seq = 0
         inflight: dict[int, float] = {}
-        quorum = 2 * self.f + 1
         while True:
             while len(inflight) < PIPELINE_WINDOW:
+                tx_count = self._next_batch()
                 yield from self.context.use_cpu(
-                    self.cost.block_sign_time(self.batch_size, self.tx_size))
-                payload = {"seq": seq, "tx_count": self.batch_size,
+                    self.cost.block_sign_time(tx_count, self.tx_size))
+                self.signatures += 1
+                payload = {"seq": seq, "tx_count": tx_count,
                            "proposed_at": self.env.now}
                 self.context.broadcast(PROPOSE, payload,
-                                       size_bytes=self._batch_bytes(),
+                                       size_bytes=self._batch_bytes(tx_count),
                                        include_self=True)
                 inflight[seq] = self.env.now
                 seq += 1
@@ -106,7 +126,6 @@ class BFTSmartReplica:
     # --------------------------------------------------------------- replica
     def run_replica(self):
         """Replica process: sequential agreement on each sequence number."""
-        n = self.network.n_nodes
         quorum = 2 * self.f + 1
         next_seq = 0
         while True:
@@ -115,10 +134,12 @@ class BFTSmartReplica:
                                        and m.sender == self.leader),
                 timeout=self.instance_timeout)
             if proposal is None:
+                self.instances_timed_out += 1
                 continue
             # Verify the leader's signature over the batch (hashes the body).
             yield from self.context.use_cpu(
-                self.cost.block_verify_time(self.batch_size, self.tx_size))
+                self.cost.block_verify_time(proposal.payload["tx_count"],
+                                            self.tx_size))
             self.context.broadcast(WRITE, {"seq": next_seq}, size_bytes=_ACK_SIZE,
                                    include_self=True)
             writes = yield from self.context.collect_messages(
@@ -141,66 +162,26 @@ class BFTSmartReplica:
             next_seq += 1
 
 
-class BFTSmartCluster:
-    """A full BFT-SMaRt-style deployment on the simulated network."""
-
-    def __init__(self, n_nodes: int, batch_size: int, tx_size: int,
-                 machine: MachineSpec = C5_4XLARGE, f: Optional[int] = None,
-                 latency_model: Optional[LatencyModel] = None, seed: int = 0) -> None:
-        if n_nodes < 4:
-            raise ValueError("BFT-SMaRt needs at least 4 replicas")
-        self.env = Environment()
-        self.n_nodes = n_nodes
-        self.f = f if f is not None else (n_nodes - 1) // 3
-        self.batch_size = batch_size
-        self.tx_size = tx_size
-        self.network = Network(self.env, n_nodes,
-                               latency_model=latency_model or SingleDatacenterLatency(),
-                               machine=machine, rng=random.Random(seed))
-        self.keystore = KeyStore(n_nodes)
-        cost = CryptoCostModel(machine)
-        self.replicas = [
-            BFTSmartReplica(self.env, self.network, node_id, self.keystore,
-                            self.f, batch_size, tx_size, cost)
-            for node_id in range(n_nodes)
-        ]
-
-    def run(self, duration: float, warmup: float = 0.2) -> BaselineResult:
-        """Run for ``duration`` simulated seconds and summarise throughput."""
-        for replica in self.replicas:
-            self.env.process(replica.run_replica())
-        self.env.process(self.replicas[0].run_leader())
-        self.env.run(until=duration)
-
-        window = max(duration - warmup, 1e-9)
-        per_replica_blocks = []
-        per_replica_txs = []
-        latencies: list[float] = []
-        for replica in self.replicas:
-            committed = [c for c in replica.committed if c.committed_at >= warmup]
-            per_replica_blocks.append(len(committed))
-            per_replica_txs.append(sum(c.tx_count for c in committed))
-            latencies.extend(c.committed_at - c.proposed_at for c in committed)
-        blocks = round(sum(per_replica_blocks) / len(per_replica_blocks))
-        txs = round(sum(per_replica_txs) / len(per_replica_txs))
-        return BaselineResult(
-            protocol="bft-smart",
-            n_nodes=self.n_nodes,
-            batch_size=self.batch_size,
-            tx_size=self.tx_size,
-            duration=window,
-            blocks_committed=blocks,
-            transactions_committed=txs,
-            latency=LatencySummary.from_samples(latencies),
-        )
-
-
 def run_bftsmart_cluster(n_nodes: int, batch_size: int, tx_size: int,
                          duration: float = 3.0, machine: MachineSpec = C5_4XLARGE,
                          f: Optional[int] = None,
                          latency_model: Optional[LatencyModel] = None,
-                         seed: int = 0) -> BaselineResult:
-    """Convenience wrapper: build and run a BFT-SMaRt-style cluster."""
-    cluster = BFTSmartCluster(n_nodes, batch_size, tx_size, machine=machine,
-                              f=f, latency_model=latency_model, seed=seed)
-    return cluster.run(duration)
+                         seed: int = 0, warmup: float = 0.2):
+    """Deprecated alias: build and run a BFT-SMaRt-style cluster.
+
+    Kept for the pre-protocol-API callers; new code should use
+    ``run_cluster(config, protocol="bftsmart", ...)`` which owns all the
+    wiring this helper used to duplicate.  Returns the unified
+    :class:`~repro.core.cluster.ClusterResult`.
+    """
+    from repro.core.cluster import run_cluster
+    from repro.core.config import FireLedgerConfig
+
+    config = FireLedgerConfig(n_nodes=n_nodes, batch_size=batch_size,
+                              tx_size=tx_size, machine=machine,
+                              **({"f": f} if f is not None else {}))
+    # The retired cluster classes accepted any positive duration; clamp the
+    # default warmup so short smoke runs keep working through run_cluster.
+    return run_cluster(config, protocol="bftsmart", duration=duration,
+                       warmup=min(warmup, duration / 2), seed=seed,
+                       latency_model=latency_model)

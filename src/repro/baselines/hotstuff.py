@@ -13,22 +13,31 @@ comparison against FireLedger:
 * a block becomes final after the three-chain rule, i.e. roughly three view
   durations (the "3 rounds finality" the paper quotes).
 
-View changes are modelled only as timeouts that skip a view (sufficient for
-the fault-free comparison of Figures 16/17).
+A view whose leader never proposes (crashed, partitioned or silent) times out
+at every replica; the next leader then proposes immediately with the highest
+QC it has, without waiting a further vote round — the model's equivalent of
+HotStuff's NEW-VIEW interrupt, which keeps the chain live across skipped
+views instead of cascading timeouts forever.
+
+The replica implements the duck-typed workload surface
+(``submit_transaction`` / ``delivered_transactions``), feeding a
+:class:`~repro.protocols.base.SharedTxPool` that the proposing leader drains
+when the config disables saturated blocks, so client-driven scenarios run
+unchanged against HotStuff.  Cluster wiring (environment, network, keystore,
+faults, workloads, metrics) lives in :func:`repro.core.cluster.run_cluster`
+via :class:`repro.protocols.hotstuff.HotStuffProtocol`.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.result import BaselineResult
+from repro.baselines.replica import PooledReplicaMixin
 from repro.core.context import ProtocolContext
 from repro.crypto.cost_model import C5_4XLARGE, CryptoCostModel, MachineSpec
 from repro.crypto.keys import KeyStore
-from repro.metrics.summary import LatencySummary
-from repro.net.latency import LatencyModel, SingleDatacenterLatency
+from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.sim import Environment, Store
 
@@ -49,13 +58,16 @@ class _CommittedBlock:
     committed_at: float
 
 
-class HotStuffReplica:
+class HotStuffReplica(PooledReplicaMixin):
     """One HotStuff replica."""
+
+    HEADER_OVERHEAD = _HEADER_OVERHEAD
 
     def __init__(self, env: Environment, network: Network, node_id: int,
                  keystore: KeyStore, f: int, batch_size: int, tx_size: int,
                  cost: CryptoCostModel, view_timeout: float = 1.0,
-                 channel: str = "hotstuff") -> None:
+                 channel: str = "hotstuff", pool=None,
+                 fill_blocks: bool = True, silent: bool = False) -> None:
         self.env = env
         self.network = network
         self.node_id = node_id
@@ -67,19 +79,28 @@ class HotStuffReplica:
         self.cost = cost
         self.view_timeout = view_timeout
         self.channel = channel
+        self.pool = pool
+        self.fill_blocks = fill_blocks
+        #: Fail-stop adversary model: a silent replica never runs its process.
+        self.silent = silent
         self.context = ProtocolContext(env, network, node_id, channel,
                                        inbox=Store(env))
-        network.endpoint(node_id).router = self.context.inbox.put
+        # A silent replica drops traffic at the network layer (like a crashed
+        # node would); buffering a whole run's broadcasts in a never-drained
+        # inbox would only grow memory.
+        network.endpoint(node_id).router = (
+            (lambda message: None) if silent else self.context.inbox.put)
         self.committed: list[_CommittedBlock] = []
-        self._proposal_times: dict[int, float] = {}
+        self._proposals: dict[int, tuple[float, int]] = {}
+        self._seen_proposal_view = -1
         self.view = 0
+        self.views_timed_out = 0
+        self.signatures = 0
+        self.measure_start = 0.0
 
     # ----------------------------------------------------------------- roles
     def _leader_of(self, view: int) -> int:
         return view % self.network.n_nodes
-
-    def _block_bytes(self) -> int:
-        return self.batch_size * self.tx_size + _HEADER_OVERHEAD
 
     def run(self):
         """Main replica process: one iteration per view."""
@@ -91,22 +112,24 @@ class HotStuffReplica:
 
             if leader == self.node_id:
                 # Wait for the QC of the previous view (the votes addressed to
-                # us as the incoming leader), then propose.
-                if view > 0:
+                # us as the incoming leader) — but only if that view actually
+                # produced a proposal; after a timed-out view nobody voted, so
+                # the leader proposes immediately (the NEW-VIEW path).
+                if view > 0 and self._seen_proposal_view == view - 1:
                     votes = yield from self.context.collect_messages(
                         lambda m, v=view: m.kind == VOTE and m.payload["view"] == v - 1,
                         count=quorum, timeout=self.view_timeout)
-                    if len(votes) < quorum:
-                        self.view += 1
-                        continue
-                    # Aggregate-signature verification of the QC.
-                    yield from self.context.use_cpu(self.cost.verify_time(0))
+                    if len(votes) >= quorum:
+                        # Aggregate-signature verification of the QC.
+                        yield from self.context.use_cpu(self.cost.verify_time(0))
+                tx_count = self._next_batch()
                 yield from self.context.use_cpu(
-                    self.cost.block_sign_time(self.batch_size, self.tx_size))
-                payload = {"view": view, "tx_count": self.batch_size,
+                    self.cost.block_sign_time(tx_count, self.tx_size))
+                self.signatures += 1
+                payload = {"view": view, "tx_count": tx_count,
                            "proposed_at": self.env.now}
                 self.context.broadcast(PROPOSAL, payload,
-                                       size_bytes=self._block_bytes(),
+                                       size_bytes=self._batch_bytes(tx_count),
                                        include_self=True)
 
             proposal = yield from self.context.wait_message(
@@ -114,89 +137,56 @@ class HotStuffReplica:
                                    and m.sender == self._leader_of(v)),
                 timeout=self.view_timeout)
             if proposal is None:
+                self.views_timed_out += 1
                 self.view += 1
                 continue
+            self._seen_proposal_view = view
 
             # Verify the proposal (hash the body, check the leader signature
             # and the embedded QC) and vote.
             yield from self.context.use_cpu(
-                self.cost.block_verify_time(self.batch_size, self.tx_size))
+                self.cost.block_verify_time(proposal.payload["tx_count"],
+                                            self.tx_size))
             yield from self.context.use_cpu(self.cost.sign_time(0))
-            self._proposal_times[view] = proposal.payload["proposed_at"]
+            self.signatures += 1
+            self._proposals[view] = (proposal.payload["proposed_at"],
+                                     proposal.payload["tx_count"])
             next_leader = self._leader_of(view + 1)
             self.context.send(next_leader, VOTE, {"view": view}, size_bytes=_VOTE_SIZE)
 
             # Three-chain commit: the proposal for view v carries the QC chain
             # that finalises the block proposed COMMIT_DEPTH views earlier.
             commit_view = view - COMMIT_DEPTH
-            if commit_view in self._proposal_times:
+            if commit_view in self._proposals:
+                proposed_at, tx_count = self._proposals.pop(commit_view)
                 self.committed.append(_CommittedBlock(
                     view=commit_view,
-                    tx_count=self.batch_size,
-                    proposed_at=self._proposal_times.pop(commit_view),
+                    tx_count=tx_count,
+                    proposed_at=proposed_at,
                     committed_at=self.env.now))
             self.view += 1
-
-
-class HotStuffCluster:
-    """A full HotStuff deployment on the simulated network."""
-
-    def __init__(self, n_nodes: int, batch_size: int, tx_size: int,
-                 machine: MachineSpec = C5_4XLARGE, f: Optional[int] = None,
-                 latency_model: Optional[LatencyModel] = None, seed: int = 0) -> None:
-        if n_nodes < 4:
-            raise ValueError("HotStuff needs at least 4 replicas")
-        self.env = Environment()
-        self.n_nodes = n_nodes
-        self.f = f if f is not None else (n_nodes - 1) // 3
-        self.batch_size = batch_size
-        self.tx_size = tx_size
-        self.network = Network(self.env, n_nodes,
-                               latency_model=latency_model or SingleDatacenterLatency(),
-                               machine=machine, rng=random.Random(seed))
-        self.keystore = KeyStore(n_nodes)
-        cost = CryptoCostModel(machine)
-        self.replicas = [
-            HotStuffReplica(self.env, self.network, node_id, self.keystore,
-                            self.f, batch_size, tx_size, cost)
-            for node_id in range(n_nodes)
-        ]
-
-    def run(self, duration: float, warmup: float = 0.2) -> BaselineResult:
-        """Run for ``duration`` simulated seconds and summarise throughput."""
-        for replica in self.replicas:
-            self.env.process(replica.run())
-        self.env.run(until=duration)
-
-        window = max(duration - warmup, 1e-9)
-        per_replica_blocks = []
-        latencies: list[float] = []
-        per_replica_txs = []
-        for replica in self.replicas:
-            committed = [c for c in replica.committed if c.committed_at >= warmup]
-            per_replica_blocks.append(len(committed))
-            per_replica_txs.append(sum(c.tx_count for c in committed))
-            latencies.extend(c.committed_at - c.proposed_at for c in committed)
-        blocks = round(sum(per_replica_blocks) / len(per_replica_blocks))
-        txs = round(sum(per_replica_txs) / len(per_replica_txs))
-        return BaselineResult(
-            protocol="hotstuff",
-            n_nodes=self.n_nodes,
-            batch_size=self.batch_size,
-            tx_size=self.tx_size,
-            duration=window,
-            blocks_committed=blocks,
-            transactions_committed=txs,
-            latency=LatencySummary.from_samples(latencies),
-        )
 
 
 def run_hotstuff_cluster(n_nodes: int, batch_size: int, tx_size: int,
                          duration: float = 3.0, machine: MachineSpec = C5_4XLARGE,
                          f: Optional[int] = None,
                          latency_model: Optional[LatencyModel] = None,
-                         seed: int = 0) -> BaselineResult:
-    """Convenience wrapper: build and run a HotStuff cluster."""
-    cluster = HotStuffCluster(n_nodes, batch_size, tx_size, machine=machine,
-                              f=f, latency_model=latency_model, seed=seed)
-    return cluster.run(duration)
+                         seed: int = 0, warmup: float = 0.2):
+    """Deprecated alias: build and run a HotStuff cluster.
+
+    Kept for the pre-protocol-API callers; new code should use
+    ``run_cluster(config, protocol="hotstuff", ...)`` which owns all the
+    wiring this helper used to duplicate.  Returns the unified
+    :class:`~repro.core.cluster.ClusterResult`.
+    """
+    from repro.core.cluster import run_cluster
+    from repro.core.config import FireLedgerConfig
+
+    config = FireLedgerConfig(n_nodes=n_nodes, batch_size=batch_size,
+                              tx_size=tx_size, machine=machine,
+                              **({"f": f} if f is not None else {}))
+    # The retired cluster classes accepted any positive duration; clamp the
+    # default warmup so short smoke runs keep working through run_cluster.
+    return run_cluster(config, protocol="hotstuff", duration=duration,
+                       warmup=min(warmup, duration / 2), seed=seed,
+                       latency_model=latency_model)

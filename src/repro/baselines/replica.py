@@ -1,0 +1,55 @@
+"""Shared replica surface for the leader-driven baseline protocols.
+
+Both baselines (HotStuff, BFT-SMaRt) expose the same duck-typed workload
+surface the clients in :mod:`repro.workload.clients` drive — a
+``submit_transaction`` feeding the cluster-wide
+:class:`~repro.protocols.base.SharedTxPool` plus delivered-work counters —
+and the same batch-draining rule for ``fill_blocks=False`` configs.  The
+mixin keeps that surface in one place; a concrete replica provides
+``env``, ``tx_size``, ``batch_size``, ``fill_blocks``, ``pool``, a
+``committed`` list of records with ``tx_count`` fields, and sets
+``HEADER_OVERHEAD`` to its wire format's per-batch framing bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ledger.transaction import Transaction
+
+
+class PooledReplicaMixin:
+    """Workload duck-type + batch draining shared by the baseline replicas."""
+
+    #: Per-batch framing bytes of the concrete protocol's wire format.
+    HEADER_OVERHEAD = 0
+
+    def submit_transaction(self, size_bytes: Optional[int] = None,
+                           client_id: int = 0) -> Transaction:
+        """Client write request, queued on the cluster-wide pending pool."""
+        transaction = Transaction.create(client_id=client_id,
+                                         size_bytes=size_bytes or self.tx_size,
+                                         now=self.env.now)
+        if self.pool is not None:
+            self.pool.submit()
+        return transaction
+
+    @property
+    def delivered_blocks(self) -> int:
+        return len(self.committed)
+
+    @property
+    def delivered_transactions(self) -> int:
+        return sum(record.tx_count for record in self.committed)
+
+    def _next_batch(self) -> int:
+        """Transactions in the next proposal: a full batch when saturated,
+        otherwise whatever the client pool has pending (possibly zero — an
+        empty batch keeps the pipeline's cadence observable, exactly like
+        FireLedger's empty blocks)."""
+        if self.fill_blocks or self.pool is None:
+            return self.batch_size
+        return self.pool.take(self.batch_size)
+
+    def _batch_bytes(self, tx_count: int) -> int:
+        return tx_count * self.tx_size + self.HEADER_OVERHEAD

@@ -39,6 +39,7 @@ _AXIS_FLAGS = {
     "batch_sizes": registry.AXIS_BATCH,
     "tx_sizes": registry.AXIS_TX,
     "workers": registry.AXIS_WORKERS,
+    "protocol": registry.AXIS_PROTOCOL,
 }
 
 
@@ -52,6 +53,37 @@ def _int_list(text: str) -> tuple[int, ...]:
     if not values:
         raise argparse.ArgumentTypeError("expected at least one integer")
     return values
+
+
+def _str_list(text: str) -> tuple[str, ...]:
+    """Parse ``"fireledger,hotstuff"`` into ``("fireledger", "hotstuff")``."""
+    values = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one name")
+    return values
+
+
+def _axis_assignment(text: str) -> tuple[str, tuple]:
+    """Parse a generic ``--axis NAME=V1,V2`` assignment.
+
+    ``NAME`` is a canonical axis name (dashes allowed); values are parsed as
+    integers where possible and kept as strings otherwise, so
+    ``--axis protocol=fireledger,hotstuff`` and ``--axis cluster-size=4,7``
+    both work.
+    """
+    name, sep, rest = text.partition("=")
+    name = name.strip().replace("-", "_")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=V1[,V2...], got {text!r}")
+    if name not in registry.AXES:
+        raise argparse.ArgumentTypeError(
+            f"unknown axis {name!r}; known: {', '.join(registry.AXES)}")
+    values = tuple(part.strip() for part in rest.split(",") if part.strip())
+    if not values:
+        raise argparse.ArgumentTypeError(f"axis {name!r} needs at least one value")
+    parsed = tuple(int(v) if v.lstrip("+-").isdigit() else v for v in values)
+    return name, parsed
 
 
 def _add_scale_options(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +113,15 @@ def _add_axis_options(parser: argparse.ArgumentParser) -> None:
                         metavar="S,S", help="transaction sizes in bytes")
     parser.add_argument("--workers", type=_int_list, default=None,
                         metavar="W,W", help="FireLedger workers per node")
+    parser.add_argument("--protocol", type=_str_list, default=None,
+                        metavar="P,P",
+                        help="consensus protocol(s) to run, e.g. "
+                             "fireledger,hotstuff,bftsmart (scenarios)")
+    parser.add_argument("--axis", type=_axis_assignment, action="append",
+                        default=None, metavar="NAME=V,V",
+                        help="generic axis assignment, e.g. "
+                             "--axis protocol=fireledger,hotstuff "
+                             "(repeatable; overrides the dedicated flags)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,12 +206,14 @@ def _effective_scale(spec, scale: ExperimentScale,
     return replace(scale, duration=preset.duration, warmup=preset.warmup)
 
 
-def _axis_values(args: argparse.Namespace) -> dict[str, tuple[int, ...]]:
+def _axis_values(args: argparse.Namespace) -> dict[str, tuple]:
     values = {}
     for flag, axis in _AXIS_FLAGS.items():
         given = getattr(args, flag)
         if given is not None:
             values[axis] = given
+    for name, axis_values in (args.axis or ()):
+        values[name] = axis_values
     return values
 
 
@@ -207,7 +250,8 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
                   for axis, vals in sorted(applicable.items())}
         spec_scale = _effective_scale(spec, scale, args, out)
         record_path = sweep.results_path(args.results_dir, spec.name)
-        cid = sweep.config_id(spec.name, spec_scale, params)
+        cid = sweep.config_id(spec.name, spec_scale, params,
+                              defaults=spec.axis_defaults)
         if (not args.no_record and not args.force
                 and cid in sweep.recorded_ids(record_path)):
             print(f"{spec.name}: already recorded at this configuration in "

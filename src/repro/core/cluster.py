@@ -1,9 +1,16 @@
-"""Cluster runner: build a FLO deployment, run it, summarise the results.
+"""Cluster runner: build a protocol deployment, run it, summarise the results.
 
-This is the entry point every benchmark and example uses: it wires the
-simulation environment, network, key store and FLO nodes together, optionally
-injects crash or Byzantine faults, runs the simulation for a configured
-duration and aggregates per-node metrics into a :class:`ClusterResult`.
+This is the entry point every benchmark, example and scenario uses.
+:func:`run_cluster` wires the simulation environment, network, key store and
+the chosen protocol's nodes together identically for **every** registered
+:class:`~repro.protocols.base.ConsensusProtocol` (FireLedger, HotStuff,
+BFT-SMaRt, and any future plugin): it optionally injects crash/recover
+schedules, Byzantine membership, network fault controllers and client
+workloads, runs the simulation for a configured duration and aggregates the
+protocol's per-node metric hooks into one unified :class:`ClusterResult`.
+
+:func:`run_fireledger_cluster` is the historical FireLedger-only entry point,
+kept as a thin deprecated alias for ``run_cluster(..., protocol="fireledger")``.
 """
 
 from __future__ import annotations
@@ -13,16 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.core.config import FireLedgerConfig
-from repro.core.flo import FLONode
 from repro.crypto.keys import KeyStore
-from repro.faults.byzantine import byzantine_worker_factory
 from repro.faults.crash import CrashSchedule
-from repro.metrics.recorder import (
-    EVENT_BLOCK_PROPOSAL,
-    EVENT_FLO_DELIVERY,
-    EVENT_TENTATIVE_DECISION,
-    MetricsRecorder,
-)
 from repro.metrics.summary import LatencySummary, ThroughputSummary
 from repro.net.faults import FaultController
 from repro.net.latency import GeoDistributedLatency, LatencyModel, SingleDatacenterLatency
@@ -32,8 +31,17 @@ from repro.sim import Environment
 
 @dataclass
 class ClusterResult:
-    """Aggregated outcome of one cluster run."""
+    """Aggregated outcome of one cluster run, for any protocol.
 
+    Protocol-specific counters (FireLedger's round outcomes and recoveries,
+    a baseline's committed block counts and skipped views, every protocol's
+    signature totals) live in :attr:`breakdown` next to the per-round stage
+    timings; the convenience properties below read the well-known keys so
+    existing FireLedger callers and the retired ``BaselineResult``'s users
+    keep working against the one unified shape.
+    """
+
+    protocol: str
     config: FireLedgerConfig
     duration: float
     throughput: ThroughputSummary
@@ -41,14 +49,9 @@ class ClusterResult:
     per_node_tps: list[float]
     per_node_bps: list[float]
     breakdown: dict[str, float]
-    recoveries: int
-    recoveries_per_second: float
-    fast_path_rounds: int
-    fallback_rounds: int
-    failed_rounds: int
     network: NetworkStats
-    recorders: list[MetricsRecorder] = field(default_factory=list, repr=False)
-    nodes: list[FLONode] = field(default_factory=list, repr=False)
+    recorders: list = field(default_factory=list, repr=False)
+    nodes: list = field(default_factory=list, repr=False)
 
     @property
     def tps(self) -> float:
@@ -60,26 +63,68 @@ class ClusterResult:
         """Average blocks per second over correct nodes."""
         return self.throughput.bps
 
+    @property
+    def recoveries_per_second(self) -> float:
+        """Recovery-procedure invocations per second (0 for the baselines)."""
+        return self.throughput.recoveries_per_second
 
-def run_fireledger_cluster(config: FireLedgerConfig,
-                           duration: float = 3.0,
-                           warmup: float = 0.5,
-                           seed: int = 0,
-                           latency_model: Optional[LatencyModel] = None,
-                           geo_distributed: bool = False,
-                           crash_schedule: Optional[CrashSchedule] = None,
-                           byzantine_nodes: Optional[frozenset[int]] = None,
-                           fault_controller: Optional[FaultController] = None,
-                           latency_trim: float = 0.0,
-                           setup: Optional[Callable[[Environment, Network, list[FLONode]], None]] = None,
-                           excluded_nodes: Optional[Iterable[int]] = None) -> ClusterResult:
-    """Build, run and summarise one FLO cluster.
+    def _counter(self, key: str) -> int:
+        return int(round(self.breakdown.get(key, 0.0)))
 
-    Parameters mirror the paper's evaluation levers: ``config`` carries the
-    Table 2 parameters, ``geo_distributed`` switches to the ten-region latency
-    matrix of Section 7.5, ``crash_schedule`` and ``byzantine_nodes`` reproduce
-    Sections 7.4.1/7.4.2, ``warmup`` excludes start-up effects from the
-    measured window (the paper measures after the faulty nodes crash).
+    @property
+    def fast_path_rounds(self) -> int:
+        """Rounds decided on FireLedger's single-step fast path."""
+        return self._counter("fast_path_rounds")
+
+    @property
+    def fallback_rounds(self) -> int:
+        """Rounds that needed FireLedger's OBBC fallback."""
+        return self._counter("fallback_rounds")
+
+    @property
+    def failed_rounds(self) -> int:
+        """Rounds that timed out undelivered."""
+        return self._counter("failed_rounds")
+
+    @property
+    def recoveries(self) -> int:
+        """Recovery-procedure invocations across correct nodes."""
+        return self._counter("recoveries")
+
+    @property
+    def blocks_committed(self) -> int:
+        """Blocks committed in the measured window (per correct node)."""
+        return self._counter("blocks_committed")
+
+    @property
+    def transactions_committed(self) -> int:
+        """Transactions committed in the measured window (per correct node)."""
+        return self._counter("transactions_committed")
+
+
+def run_cluster(config: FireLedgerConfig,
+                protocol: "str | object" = "fireledger",
+                duration: float = 3.0,
+                warmup: float = 0.5,
+                seed: int = 0,
+                latency_model: Optional[LatencyModel] = None,
+                geo_distributed: bool = False,
+                crash_schedule: Optional[CrashSchedule] = None,
+                byzantine_nodes: Optional[frozenset[int]] = None,
+                fault_controller: Optional[FaultController] = None,
+                latency_trim: float = 0.0,
+                setup: Optional[Callable[[Environment, Network, list], None]] = None,
+                excluded_nodes: Optional[Iterable[int]] = None) -> ClusterResult:
+    """Build, run and summarise one cluster under any registered protocol.
+
+    ``protocol`` is a registry name (``"fireledger"``, ``"hotstuff"``,
+    ``"bftsmart"``) or a :class:`~repro.protocols.base.ConsensusProtocol`
+    instance.  The remaining parameters mirror the paper's evaluation levers
+    and apply to every protocol: ``config`` carries the Table 2 parameters,
+    ``geo_distributed`` switches to the ten-region latency matrix of Section
+    7.5, ``crash_schedule`` and ``byzantine_nodes`` reproduce Sections
+    7.4.1/7.4.2, ``warmup`` excludes start-up effects from the measured
+    window.
 
     ``setup`` is a hook invoked after the nodes are built and started but
     before the simulation runs; the declarative scenario layer uses it to
@@ -89,10 +134,18 @@ def run_fireledger_cluster(config: FireLedgerConfig,
     victims and the Byzantine nodes — e.g. nodes a fault timeline crashes
     without ever recovering.
     """
+    from repro import protocols as protocol_registry  # lazy: avoids a cycle
+
+    impl = protocol_registry.resolve(protocol)
     if duration <= 0:
         raise ValueError("duration must be positive")
     if warmup < 0 or warmup >= duration:
         raise ValueError("warmup must be within [0, duration)")
+    # FireLedgerConfig already enforces the BFT floor of 4; this guards
+    # protocols that declare a minimum above it.
+    if config.n_nodes < impl.min_nodes:
+        raise ValueError(f"protocol {impl.name!r} needs at least "
+                         f"{impl.min_nodes} nodes (got {config.n_nodes})")
 
     rng = random.Random(seed)
     env = Environment()
@@ -105,19 +158,11 @@ def run_fireledger_cluster(config: FireLedgerConfig,
                       fault_controller=fault_controller)
     keystore = KeyStore(config.n_nodes)
 
-    worker_factory = None
-    if byzantine_nodes:
-        worker_factory = byzantine_worker_factory(frozenset(byzantine_nodes))
-
-    nodes = [
-        FLONode(env, network, node_id, config, keystore,
-                rng=random.Random(rng.randrange(2 ** 62)),
-                worker_factory=worker_factory)
-        for node_id in range(config.n_nodes)
-    ]
-    for node in nodes:
-        node.recorder.measure_start = warmup
-        node.start()
+    byzantine = frozenset(byzantine_nodes or ())
+    nodes = impl.build_nodes(env, network, keystore, config, rng,
+                             byzantine_nodes=byzantine)
+    impl.set_measurement_window(nodes, warmup)
+    impl.start(nodes)
 
     if crash_schedule is not None:
         crash_schedule.install(env, network)
@@ -129,47 +174,55 @@ def run_fireledger_cluster(config: FireLedgerConfig,
     excluded = set()
     if crash_schedule is not None:
         excluded |= set(crash_schedule.crashed_nodes)
-    if byzantine_nodes:
-        excluded |= set(byzantine_nodes)
+    excluded |= byzantine
     if excluded_nodes is not None:
         excluded |= set(excluded_nodes)
     correct_nodes = [node for node in nodes if node.node_id not in excluded]
     if not correct_nodes:
         correct_nodes = nodes
 
-    per_node_tps = []
-    per_node_bps = []
-    summaries = []
+    per_node_tps: list[float] = []
+    per_node_bps: list[float] = []
+    summaries: list[ThroughputSummary] = []
     latency_samples: list[float] = []
-    breakdown_totals: dict[str, float] = {}
-    breakdown_counts: dict[str, int] = {}
-    recoveries = 0
-    fast_path = fallback = failed = 0
+    stage_totals: dict[str, float] = {}
+    stage_counts: dict[str, int] = {}
+    counter_totals: dict[str, float] = {}
+    mean_totals: dict[str, float] = {}
+    mean_counts: dict[str, int] = {}
 
     for node in correct_nodes:
-        recorder = node.recorder
-        tps = recorder.throughput_tps(duration, event=EVENT_FLO_DELIVERY)
-        bps = recorder.throughput_bps(duration, event=EVENT_TENTATIVE_DECISION)
-        rps = recorder.recoveries_per_second(duration)
-        per_node_tps.append(tps)
-        per_node_bps.append(bps)
-        summaries.append(ThroughputSummary(tps=tps, bps=bps, recoveries_per_second=rps))
-        latency_samples.extend(recorder.latency_samples(
-            EVENT_BLOCK_PROPOSAL, EVENT_FLO_DELIVERY))
-        for key, value in recorder.breakdown().items():
-            breakdown_totals[key] = breakdown_totals.get(key, 0.0) + value
-            breakdown_counts[key] = breakdown_counts.get(key, 0) + 1
-        recoveries += len(recorder.recoveries)
-        fast_path += recorder.fast_path_rounds
-        fallback += recorder.fallback_rounds
-        failed += recorder.failed_rounds
+        metrics = impl.node_metrics(node, duration)
+        per_node_tps.append(metrics.tps)
+        per_node_bps.append(metrics.bps)
+        summaries.append(ThroughputSummary(
+            tps=metrics.tps, bps=metrics.bps,
+            recoveries_per_second=metrics.recoveries_per_second))
+        latency_samples.extend(metrics.latency_samples)
+        for key, value in metrics.stage_breakdown.items():
+            stage_totals[key] = stage_totals.get(key, 0.0) + value
+            stage_counts[key] = stage_counts.get(key, 0) + 1
+        for key, value in metrics.totals.items():
+            counter_totals[key] = counter_totals.get(key, 0.0) + value
+        for key, value in metrics.means.items():
+            mean_totals[key] = mean_totals.get(key, 0.0) + value
+            mean_counts[key] = mean_counts.get(key, 0) + 1
 
     throughput = ThroughputSummary.average(summaries)
-    latency = LatencySummary.from_samples(latency_samples, trim_extreme_fraction=latency_trim)
-    breakdown = {key: breakdown_totals[key] / breakdown_counts[key]
-                 for key in breakdown_totals}
+    latency = LatencySummary.from_samples(latency_samples,
+                                          trim_extreme_fraction=latency_trim)
+    breakdown = {key: stage_totals[key] / stage_counts[key]
+                 for key in stage_totals}
+    breakdown.update(counter_totals)
+    breakdown.update({key: mean_totals[key] / mean_counts[key]
+                      for key in mean_totals})
+
+    recorders = [recorder for recorder in
+                 (impl.recorder_of(node) for node in nodes)
+                 if recorder is not None]
 
     return ClusterResult(
+        protocol=impl.name,
         config=config,
         duration=duration,
         throughput=throughput,
@@ -177,12 +230,34 @@ def run_fireledger_cluster(config: FireLedgerConfig,
         per_node_tps=per_node_tps,
         per_node_bps=per_node_bps,
         breakdown=breakdown,
-        recoveries=recoveries,
-        recoveries_per_second=throughput.recoveries_per_second,
-        fast_path_rounds=fast_path,
-        fallback_rounds=fallback,
-        failed_rounds=failed,
         network=network.stats,
-        recorders=[node.recorder for node in nodes],
+        recorders=recorders,
         nodes=nodes,
     )
+
+
+def run_fireledger_cluster(config: FireLedgerConfig,
+                           duration: float = 3.0,
+                           warmup: float = 0.5,
+                           seed: int = 0,
+                           latency_model: Optional[LatencyModel] = None,
+                           geo_distributed: bool = False,
+                           crash_schedule: Optional[CrashSchedule] = None,
+                           byzantine_nodes: Optional[frozenset[int]] = None,
+                           fault_controller: Optional[FaultController] = None,
+                           latency_trim: float = 0.0,
+                           setup: Optional[Callable[[Environment, Network, list], None]] = None,
+                           excluded_nodes: Optional[Iterable[int]] = None) -> ClusterResult:
+    """Deprecated alias for ``run_cluster(..., protocol="fireledger")``.
+
+    The historical FireLedger-only entry point; parameters and results are
+    identical to :func:`run_cluster` with the default protocol.
+    """
+    return run_cluster(config, protocol="fireledger", duration=duration,
+                       warmup=warmup, seed=seed, latency_model=latency_model,
+                       geo_distributed=geo_distributed,
+                       crash_schedule=crash_schedule,
+                       byzantine_nodes=byzantine_nodes,
+                       fault_controller=fault_controller,
+                       latency_trim=latency_trim, setup=setup,
+                       excluded_nodes=excluded_nodes)

@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.baselines import run_bftsmart_cluster, run_hotstuff_cluster
-from repro.core.cluster import run_fireledger_cluster
+from repro.core.cluster import run_cluster, run_fireledger_cluster
 from repro.core.config import FireLedgerConfig
 from repro.crypto.cost_model import C5_4XLARGE, M5_XLARGE, CryptoCostModel
 from repro.experiments.harness import ExperimentScale
@@ -178,9 +177,13 @@ def figure09_latency_breakdown(scale: Optional[ExperimentScale] = None) -> list[
                                       batch_size=1000, tx_size=512)
             result = run_fireledger_cluster(config, duration=scale.duration,
                                             warmup=scale.warmup, seed=scale.seed)
-            total = sum(result.breakdown.values()) or 1.0
+            # The breakdown also carries protocol counters (round outcomes,
+            # signatures); only the A..E stage spans belong in this figure.
+            stages = {key: value for key, value in result.breakdown.items()
+                      if "->" in key}
+            total = sum(stages.values()) or 1.0
             row = {"n": n_nodes, "workers": workers}
-            for key, value in sorted(result.breakdown.items()):
+            for key, value in sorted(stages.items()):
                 row[key] = round(value / total, 3)
             rows.append(row)
     return rows
@@ -330,6 +333,20 @@ def _flo_on_c5(n_nodes: int, batch_size: int, tx_size: int,
     return {"tps": result.tps, "latency": result.latency.mean}
 
 
+def _baseline_on_c5(protocol: str, n_nodes: int, batch_size: int, tx_size: int,
+                    scale: ExperimentScale):
+    """Run a baseline through the protocol-pluggable cluster API.
+
+    Same machine and seed as the FLO side; the 0.2 s warmup matches the
+    retired ``HotStuffCluster`` / ``BFTSmartCluster`` measurement window so
+    the rewired figures reproduce the historical numbers.
+    """
+    config = FireLedgerConfig(n_nodes=n_nodes, batch_size=batch_size,
+                              tx_size=tx_size, machine=C5_4XLARGE)
+    return run_cluster(config, protocol=protocol, duration=scale.duration,
+                       warmup=min(0.2, scale.duration / 2), seed=scale.seed)
+
+
 def figure16_vs_hotstuff(scale: Optional[ExperimentScale] = None,
                          cluster_sizes: tuple[int, ...] = (4, 10, 16),
                          tx_sizes: tuple[int, ...] = (128, 512, 1024)) -> list[dict]:
@@ -339,9 +356,7 @@ def figure16_vs_hotstuff(scale: Optional[ExperimentScale] = None,
     for n_nodes in cluster_sizes:
         for tx_size in tx_sizes:
             flo = _flo_on_c5(n_nodes, 1000, tx_size, scale)
-            hotstuff = run_hotstuff_cluster(n_nodes, 1000, tx_size,
-                                            duration=scale.duration,
-                                            machine=C5_4XLARGE, seed=scale.seed)
+            hotstuff = _baseline_on_c5("hotstuff", n_nodes, 1000, tx_size, scale)
             speedup = flo["tps"] / hotstuff.tps if hotstuff.tps else float("inf")
             rows.append({"n": n_nodes, "tx_size": tx_size,
                          "flo_tps": round(flo["tps"]),
@@ -362,9 +377,7 @@ def figure17_vs_bftsmart(scale: Optional[ExperimentScale] = None,
     for n_nodes in cluster_sizes:
         for tx_size in tx_sizes:
             flo = _flo_on_c5(n_nodes, 1000, tx_size, scale)
-            bftsmart = run_bftsmart_cluster(n_nodes, 1000, tx_size,
-                                            duration=scale.duration,
-                                            machine=C5_4XLARGE, seed=scale.seed)
+            bftsmart = _baseline_on_c5("bftsmart", n_nodes, 1000, tx_size, scale)
             speedup = flo["tps"] / bftsmart.tps if bftsmart.tps else float("inf")
             rows.append({"n": n_nodes, "tx_size": tx_size,
                          "flo_tps": round(flo["tps"]),

@@ -168,7 +168,8 @@ def run_parallel_sweep(spec: ExperimentSpec,
             params = dict(point)
             if seeds:
                 params["seed"] = seed
-            cid = config_id(spec.name, seeded, params)
+            cid = config_id(spec.name, seeded, params,
+                            defaults=spec.axis_defaults)
             if cid in done or cid in enqueued:
                 skipped += 1
                 label = ", ".join(f"{k}={v}" for k, v in sorted(params.items())) or "(base)"

@@ -29,7 +29,9 @@ AXIS_CLUSTER = "cluster_size"
 AXIS_BATCH = "batch_size"
 AXIS_TX = "tx_size"
 AXIS_WORKERS = "workers"
-AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS)
+#: Consensus protocol axis — string-valued (names from :mod:`repro.protocols`).
+AXIS_PROTOCOL = "protocol"
+AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS, AXIS_PROTOCOL)
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,11 @@ class ExperimentSpec:
     #: CLI ignores ``--duration``/``--warmup`` for them — with a note — and
     #: keeps the ignored values out of the recorded ``config_id``.
     pins_duration: bool = False
+    #: Axis values the driver already uses by default.  ``config_id``
+    #: canonicalizes an explicit override that equals the default out of the
+    #: hash payload, so ``--axis protocol=fireledger`` resumes against (and
+    #: never double-records) the bare run of a fireledger-default scenario.
+    axis_defaults: Mapping[str, object] = field(default_factory=dict)
 
     @property
     def description(self) -> str:
@@ -84,14 +91,16 @@ class ExperimentSpec:
         return doc.strip().splitlines()[0] if doc.strip() else ""
 
     def normalize_axis_values(
-            self, axis_values: Optional[Mapping[str, Sequence[int]]],
-    ) -> dict[str, tuple[int, ...]]:
+            self, axis_values: Optional[Mapping[str, Sequence]],
+    ) -> dict[str, tuple]:
         """Validate axis names and truncate values past a binding's limit.
 
         Returns the values that will actually reach the driver, which is what
-        callers should record.
+        callers should record.  Axis values are usually ints; the ``protocol``
+        axis carries protocol-name strings (a bare string counts as one value,
+        not a character sequence).
         """
-        normalized: dict[str, tuple[int, ...]] = {}
+        normalized: dict[str, tuple] = {}
         for axis, values in sorted((axis_values or {}).items()):
             binding = self.axes.get(axis)
             if binding is None:
@@ -99,14 +108,14 @@ class ExperimentSpec:
                 raise ValueError(
                     f"experiment {self.name!r} has no {axis!r} axis; "
                     f"supported axes: {supported}")
-            values = tuple(values)
+            values = (values,) if isinstance(values, str) else tuple(values)
             if not values:
                 raise ValueError(f"axis {axis!r} needs at least one value")
             normalized[axis] = values[:binding.limit] if binding.limit else values
         return normalized
 
     def run(self, scale: Optional[ExperimentScale] = None,
-            axis_values: Optional[Mapping[str, Sequence[int]]] = None) -> list[dict]:
+            axis_values: Optional[Mapping[str, Sequence]] = None) -> list[dict]:
         """Run the driver at ``scale`` with per-axis value overrides.
 
         ``axis_values`` maps canonical axis names to the values to use.  Scale
@@ -250,9 +259,10 @@ def _register_all() -> None:
 def _register_scenarios() -> None:
     """Register every shipped declarative scenario as ``scenario:<name>``.
 
-    Scenario drivers take ``n_nodes`` / ``workers`` as scalar keyword axes,
-    so ``repro sweep scenario:<name> --cluster-sizes 4,7`` sweeps the same
-    spec over cluster sizes with the usual resume/--jobs machinery.
+    Scenario drivers take ``n_nodes`` / ``workers`` / ``protocol`` as scalar
+    keyword axes, so ``repro sweep scenario:<name> --cluster-sizes 4,7`` and
+    ``repro sweep scenario:<name> --protocol fireledger,hotstuff`` sweep the
+    same spec with the usual resume/--jobs machinery.
     """
     from repro.scenarios import library as scenario_library
 
@@ -263,8 +273,12 @@ def _register_scenarios() -> None:
             func=scenario_library.driver_for(spec),
             title=f"Scenario — {name}",
             axes={AXIS_CLUSTER: _kwarg_axis("n_nodes"),
-                  AXIS_WORKERS: _kwarg_axis("workers")},
-            pins_duration=True))
+                  AXIS_WORKERS: _kwarg_axis("workers"),
+                  AXIS_PROTOCOL: _kwarg_axis("protocol")},
+            pins_duration=True,
+            axis_defaults={AXIS_CLUSTER: spec.n_nodes,
+                           AXIS_WORKERS: spec.workers,
+                           AXIS_PROTOCOL: spec.protocol}))
 
 
 _register_all()

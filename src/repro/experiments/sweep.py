@@ -36,19 +36,28 @@ def grid_points(axes: Mapping[str, Sequence]) -> Iterator[dict]:
         yield dict(zip(names, combo))
 
 
-def config_id(experiment: str, scale: ExperimentScale, params: Mapping) -> str:
+def config_id(experiment: str, scale: ExperimentScale, params: Mapping,
+              defaults: Optional[Mapping] = None) -> str:
     """Stable identifier of one configuration (experiment + scale + point).
 
-    The hash payload is canonicalised so the two spellings of a seeded run
-    collide: a seeded sweep records the seed both on the scale and as a
-    ``seed`` grid param, while ``repro run --seed s`` only sets it on the
-    scale.  Folding ``params['seed']`` into the scale before hashing makes
-    both hash identically, so resume works across the two entry points.
+    The hash payload is canonicalised so equivalent spellings of a run
+    collide and resume across entry points:
+
+    * a seeded sweep records the seed both on the scale and as a ``seed``
+      grid param, while ``repro run --seed s`` only sets it on the scale —
+      folding ``params['seed']`` into the scale makes both hash identically;
+    * an axis override that equals the driver's default (``defaults``, from
+      ``ExperimentSpec.axis_defaults`` — e.g. ``protocol=fireledger`` on a
+      fireledger-default scenario) is dropped from the payload, so the
+      explicit and the bare spelling hash identically.
     """
     params = dict(params)
     seed = params.pop("seed", None)
     if seed is not None:
         scale = replace(scale, seed=seed)
+    for axis, default in (defaults or {}).items():
+        if axis in params and params[axis] == default:
+            del params[axis]
     payload = {"experiment": experiment, "scale": asdict(scale),
                "params": params}
     digest = hashlib.sha256(
@@ -108,7 +117,8 @@ def make_record(spec: ExperimentSpec, scale: ExperimentScale, scale_label: str,
     record = {
         "experiment": spec.name,
         "title": spec.title,
-        "config_id": config_id(spec.name, scale, params),
+        "config_id": config_id(spec.name, scale, params,
+                               defaults=spec.axis_defaults),
         "scale": scale_label,
         "seed": scale.seed,
         "params": dict(params),
@@ -145,7 +155,8 @@ def run_sweep(spec: ExperimentSpec,
             params = dict(point)
             if seeds:
                 params["seed"] = seed
-            cid = config_id(spec.name, seeded, params)
+            cid = config_id(spec.name, seeded, params,
+                            defaults=spec.axis_defaults)
             label = ", ".join(f"{k}={v}" for k, v in sorted(params.items())) or "(base)"
             if cid in done:
                 skipped += 1

@@ -31,6 +31,7 @@ _PARAM_ROW_ECHOES = {
     "batch_size": ("batch_size", "batch"),
     "tx_size": ("tx_size",),
     "workers": ("workers",),
+    "protocol": ("protocol",),
 }
 
 
@@ -90,13 +91,22 @@ def _dedup_by_config_id(records: Sequence[Mapping]) -> list[dict]:
 
 
 def merged_rows(records: Sequence[Mapping]) -> list[dict]:
-    """Flatten records into display rows, grid params as leading columns."""
+    """Flatten records into display rows, grid params as leading columns.
+
+    ``scale`` and ``seed`` live on the record, not the rows; when the records
+    disagree they are surfaced as prefix columns so rows stay distinguishable
+    — in particular the protocol comparison must not group runs recorded at
+    different seeds into one "same configuration" line.
+    """
     rows: list[dict] = []
     scales = {record.get("scale") for record in records}
+    seeds = {record.get("seed") for record in records}
     for record in records:
         prefix: dict = {}
         if len(scales) > 1:
             prefix["scale"] = record.get("scale")
+        if len(seeds) > 1:
+            prefix["seed"] = record.get("seed")
         record_rows = record.get("rows", [])
         for key in sorted(record.get("params", {})):
             value = record["params"][key]
@@ -156,6 +166,72 @@ def markdown_table(rows: Sequence[Mapping],
     return "\n".join(lines)
 
 
+# Identifying columns a protocol-comparison row is grouped by, and the
+# metrics it pivots per protocol.
+_COMPARISON_ID_COLUMNS = ("scenario", "n", "workers", "batch", "tx_size",
+                          "workload", "seed")
+_COMPARISON_BASELINE = "fireledger"
+
+
+def protocol_comparison_rows(rows: Sequence[Mapping]) -> list[dict]:
+    """Pivot result rows into a head-to-head protocol comparison.
+
+    Rows that ran the *same configuration* under different ``protocol``
+    values (a ``--protocol``/``--axis protocol=...`` sweep) collapse into one
+    comparison row: the shared grid columns, per-protocol ``tps_<name>`` and
+    ``p50_ms_<name>`` columns, and — when FireLedger is among them — the
+    paper's headline ``fireledger_over_<name>`` speedup ratios.  Returns an
+    empty list when fewer than two protocols are present.
+    """
+    protocols: list[str] = []
+    for row in rows:
+        name = row.get("protocol")
+        if name and name not in protocols:
+            protocols.append(name)
+    if len(protocols) < 2:
+        return []
+    if _COMPARISON_BASELINE in protocols:  # the paper's protocol leads
+        protocols.remove(_COMPARISON_BASELINE)
+        protocols.insert(0, _COMPARISON_BASELINE)
+    id_columns = [column for column in _COMPARISON_ID_COLUMNS
+                  if any(column in row for row in rows)]
+    grouped: dict[tuple, dict[str, Mapping]] = {}
+    order: list[tuple] = []
+    for row in rows:
+        name = row.get("protocol")
+        if not name:
+            continue
+        key = tuple(row.get(column) for column in id_columns)
+        if key not in grouped:
+            grouped[key] = {}
+            order.append(key)
+        grouped[key].setdefault(name, row)
+    comparison: list[dict] = []
+    for key in order:
+        per_protocol = grouped[key]
+        if len(per_protocol) < 2:
+            continue
+        out = dict(zip(id_columns, key))
+        for name in protocols:
+            row = per_protocol.get(name)
+            out[f"tps_{name}"] = row.get("tps") if row else None
+        baseline = per_protocol.get(_COMPARISON_BASELINE)
+        baseline_tps = baseline.get("tps") if baseline else None
+        if baseline_tps:
+            for name in protocols:
+                if name == _COMPARISON_BASELINE:
+                    continue
+                row = per_protocol.get(name)
+                tps = row.get("tps") if row else None
+                out[f"fireledger_over_{name}"] = (
+                    round(baseline_tps / tps, 2) if tps else None)
+        for name in protocols:
+            row = per_protocol.get(name)
+            out[f"p50_ms_{name}"] = row.get("latency_p50_ms") if row else None
+        comparison.append(out)
+    return comparison
+
+
 def _shared_expectation(rows: Sequence[Mapping]) -> Optional[str]:
     """If every row carries the same 'expectation' note, factor it out."""
     for key in _EXPECTATION_KEYS:
@@ -189,6 +265,8 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
     if scenario is not None:
         summary = scenario.summary()
         lines += [
+            f"- **Protocol:** {summary['protocol']} (default; sweep with "
+            f"`--protocol`)",
             f"- **Topology:** {summary['topology']}",
             f"- **Workload:** {summary['workload']}",
             f"- **Faults:** {summary['faults']}",
@@ -206,6 +284,15 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
     if expectation:
         lines += [f"Paper expectation: {expectation}.", ""]
     lines += [markdown_table(rows, table_columns(rows, exclude=exclude)), ""]
+    comparison = protocol_comparison_rows(rows)
+    if comparison:
+        lines += [
+            "**Head-to-head protocol comparison** (same configuration, "
+            "protocol swapped):",
+            "",
+            markdown_table(comparison),
+            "",
+        ]
     return "\n".join(lines)
 
 
@@ -220,7 +307,9 @@ def _scenario_preamble() -> list[str]:
         "(`src/repro/scenarios/`): one spec composes a WAN topology, a",
         "workload shape and a fault timeline, and runs via",
         "`python -m repro run scenario:<name>` (sweepable over",
-        "`--cluster-sizes` / `--workers` like any experiment).  Shipped:",
+        "`--cluster-sizes` / `--workers` / `--protocol` like any",
+        "experiment; every scenario runs under any registered consensus",
+        "protocol — fireledger, hotstuff, bftsmart).  Shipped:",
         "",
     ]
     for name in library.names():

@@ -1,0 +1,45 @@
+"""Pluggable consensus protocols for the cluster runner.
+
+One :class:`~repro.protocols.base.ConsensusProtocol` implementation per
+protocol, registered by name so ``run_cluster(config, protocol="hotstuff")``,
+scenario specs (``protocol = "bftsmart"``) and the ``--protocol`` sweep axis
+all resolve through the same registry.  Shipped protocols:
+
+* ``fireledger`` — the paper's protocol (FLO nodes running FireLedger
+  worker instances);
+* ``hotstuff``   — chained HotStuff with rotating leaders (Section 7.6);
+* ``bftsmart``   — a BFT-SMaRt-style stable-leader ordering service.
+
+Adding a protocol: implement the contract in :mod:`repro.protocols.base`
+and call :func:`register` (see ARCHITECTURE.md, "Protocol layer").
+"""
+
+from repro.protocols.base import (
+    ConsensusProtocol,
+    NodeMetrics,
+    SharedTxPool,
+    get,
+    names,
+    register,
+    resolve,
+)
+from repro.protocols.bftsmart import BFTSmartProtocol
+from repro.protocols.fireledger import FireLedgerProtocol
+from repro.protocols.hotstuff import HotStuffProtocol
+
+register(FireLedgerProtocol())
+register(HotStuffProtocol())
+register(BFTSmartProtocol())
+
+__all__ = [
+    "ConsensusProtocol",
+    "NodeMetrics",
+    "SharedTxPool",
+    "FireLedgerProtocol",
+    "HotStuffProtocol",
+    "BFTSmartProtocol",
+    "register",
+    "get",
+    "names",
+    "resolve",
+]

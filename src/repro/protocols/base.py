@@ -1,0 +1,200 @@
+"""The protocol-pluggable cluster contract.
+
+A :class:`ConsensusProtocol` is everything :func:`repro.core.cluster.run_cluster`
+needs to evaluate one BFT ordering protocol on the shared simulated substrate:
+
+* a **node factory** (:meth:`ConsensusProtocol.build_nodes`) turning the
+  already-wired environment / network / keystore into protocol nodes;
+* a **launcher** (:meth:`ConsensusProtocol.start`) and a measurement-window
+  hook (:meth:`ConsensusProtocol.set_measurement_window`);
+* **metric hooks** (:meth:`ConsensusProtocol.node_metrics`) mapping one node's
+  commit events, signature counts and round outcomes onto the protocol-agnostic
+  :class:`NodeMetrics` shape the runner aggregates into a
+  :class:`~repro.core.cluster.ClusterResult`.
+
+The runner owns *all* the wiring that used to be copy-pasted between
+``run_fireledger_cluster``, ``HotStuffCluster`` and ``BFTSmartCluster``:
+seeding, latency model selection, the :class:`~repro.net.network.Network`,
+the :class:`~repro.crypto.keys.KeyStore`, crash/recover schedules, network
+fault controllers, workload attachment and metric aggregation.  A new
+protocol is therefore a ~200-line module implementing this contract plus a
+:func:`register` call — it immediately gains WAN topologies, fault timelines,
+client workloads, ``--jobs`` sweeps and the EXPERIMENTS.md report.
+
+Nodes that should carry client workloads (``fill_blocks=False`` configs)
+additionally expose the small duck-typed surface the workload clients in
+:mod:`repro.workload.clients` rely on: ``submit_transaction(size_bytes=...,
+client_id=...)`` and a ``delivered_transactions`` counter.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.config import FireLedgerConfig
+    from repro.crypto.keys import KeyStore
+    from repro.net.network import Network
+    from repro.sim import Environment
+
+
+@dataclass
+class NodeMetrics:
+    """One node's contribution to the aggregated cluster result.
+
+    ``tps``/``bps``/``recoveries_per_second`` are rates over the node's
+    measurement window.  ``latency_samples`` are per-block commit latencies in
+    seconds.  The three dicts all end up in ``ClusterResult.breakdown`` but
+    aggregate differently across correct nodes:
+
+    * ``stage_breakdown`` — per-round stage timings (FireLedger's ``A->B`` ...
+      ``D->E`` spans), averaged per key;
+    * ``totals`` — cluster-wide counters (round outcomes, recoveries, skipped
+      views, signature counts), summed per key;
+    * ``means`` — per-node quantities that every correct node observes
+      identically (a baseline's committed block/transaction counts), averaged
+      per key.
+    """
+
+    tps: float = 0.0
+    bps: float = 0.0
+    recoveries_per_second: float = 0.0
+    latency_samples: list[float] = field(default_factory=list)
+    stage_breakdown: dict[str, float] = field(default_factory=dict)
+    totals: dict[str, float] = field(default_factory=dict)
+    means: dict[str, float] = field(default_factory=dict)
+
+
+class ConsensusProtocol(abc.ABC):
+    """Contract one BFT protocol implements to run under ``run_cluster``.
+
+    Implementations are stateless: all per-run state lives on the node
+    objects returned by :meth:`build_nodes`, so one registered instance can
+    serve any number of concurrent runs.
+    """
+
+    #: Registry name (``protocol=`` value on the CLI and in scenario specs).
+    name: str = ""
+    #: Smallest cluster the protocol is defined for.
+    min_nodes: int = 4
+
+    @abc.abstractmethod
+    def build_nodes(self, env: "Environment", network: "Network",
+                    keystore: "KeyStore", config: "FireLedgerConfig",
+                    rng: random.Random,
+                    byzantine_nodes: frozenset[int] = frozenset()) -> list:
+        """Create one node object per ``config.n_nodes``.
+
+        ``rng`` is the run's root random source — draw per-node seeds from it
+        (``rng.randrange(2 ** 62)``) so runs stay deterministic per seed.
+        ``byzantine_nodes`` selects the protocol's adversary model for those
+        nodes (FireLedger runs equivocating workers; the baselines model a
+        fail-stop under-approximation — see each implementation).
+        """
+
+    @abc.abstractmethod
+    def start(self, nodes: Sequence) -> None:
+        """Launch every node's simulation process(es)."""
+
+    def set_measurement_window(self, nodes: Sequence, warmup: float) -> None:
+        """Exclude ``[0, warmup)`` from every node's measured metrics."""
+        for node in nodes:
+            if hasattr(node, "recorder"):
+                node.recorder.measure_start = warmup
+            else:
+                node.measure_start = warmup
+
+    @abc.abstractmethod
+    def node_metrics(self, node, duration: float) -> NodeMetrics:
+        """Summarise one node's run over its measurement window."""
+
+    def recorder_of(self, node) -> Optional[object]:
+        """The node's :class:`~repro.metrics.recorder.MetricsRecorder`, if any."""
+        return getattr(node, "recorder", None)
+
+
+class SharedTxPool:
+    """Cluster-wide pending pool for leader-driven baseline protocols.
+
+    FireLedger routes a client write to one node's least-loaded worker; the
+    leader-driven baselines instead model clients submitting to the ordering
+    service as a whole (requests reach whichever replica currently batches).
+    Every replica's ``submit_transaction`` feeds this shared pool and the
+    proposing leader drains up to a batch at a time, so open-loop /
+    closed-loop / bursty scenario workloads drive all protocols comparably.
+    """
+
+    def __init__(self) -> None:
+        self.pending = 0
+        self.submitted = 0
+
+    def submit(self) -> None:
+        self.pending += 1
+        self.submitted += 1
+
+    def take(self, max_count: int) -> int:
+        """Drain up to ``max_count`` pending transactions; returns the count."""
+        taken = min(self.pending, max_count)
+        self.pending -= taken
+        return taken
+
+
+def committed_node_metrics(node, duration: float,
+                           totals: Optional[dict] = None) -> NodeMetrics:
+    """Build :class:`NodeMetrics` from a replica's ``committed`` record list.
+
+    Shared by the leader-driven baselines: filters the records (anything with
+    ``tx_count`` / ``proposed_at`` / ``committed_at`` fields) to the node's
+    measurement window and derives rates, latency samples and the
+    ``blocks_committed`` / ``transactions_committed`` means.
+    """
+    window = max(duration - node.measure_start, 1e-9)
+    committed = [record for record in node.committed
+                 if record.committed_at >= node.measure_start]
+    transactions = sum(record.tx_count for record in committed)
+    return NodeMetrics(
+        tps=transactions / window,
+        bps=len(committed) / window,
+        latency_samples=[record.committed_at - record.proposed_at
+                         for record in committed],
+        totals=dict(totals or {}),
+        means={"blocks_committed": len(committed),
+               "transactions_committed": transactions},
+    )
+
+
+_PROTOCOLS: dict[str, ConsensusProtocol] = {}
+
+
+def register(protocol: ConsensusProtocol) -> ConsensusProtocol:
+    """Register a protocol instance under its ``name``."""
+    if not protocol.name:
+        raise ValueError("a ConsensusProtocol needs a non-empty name")
+    if protocol.name in _PROTOCOLS:
+        raise ValueError(f"protocol {protocol.name!r} already registered")
+    _PROTOCOLS[protocol.name] = protocol
+    return protocol
+
+
+def names() -> list[str]:
+    """Registered protocol names, in registration order."""
+    return list(_PROTOCOLS)
+
+
+def get(name: str) -> ConsensusProtocol:
+    """Look up a registered protocol by name."""
+    try:
+        return _PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(f"unknown protocol {name!r}; "
+                       f"known: {', '.join(names())}") from None
+
+
+def resolve(protocol: "str | ConsensusProtocol") -> ConsensusProtocol:
+    """Accept a registry name or a :class:`ConsensusProtocol` instance."""
+    if isinstance(protocol, ConsensusProtocol):
+        return protocol
+    return get(protocol)

@@ -1,0 +1,57 @@
+"""BFT-SMaRt-style ordering service under the pluggable-protocol contract."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.bftsmart import BFTSmartReplica
+from repro.crypto.cost_model import CryptoCostModel
+from repro.protocols.base import (
+    ConsensusProtocol,
+    NodeMetrics,
+    SharedTxPool,
+    committed_node_metrics,
+)
+
+
+class BFTSmartProtocol(ConsensusProtocol):
+    """Stable-leader PBFT-family ordering (see :mod:`repro.baselines.bftsmart`).
+
+    Byzantine membership maps onto silent (fail-stop) replicas; a silent
+    node 0 halts the service because leader re-election is not modelled.
+    """
+
+    name = "bftsmart"
+    min_nodes = 4
+
+    def __init__(self, instance_timeout: float = 1.0) -> None:
+        if instance_timeout <= 0:
+            raise ValueError("instance_timeout must be positive")
+        self.instance_timeout = instance_timeout
+
+    def build_nodes(self, env, network, keystore, config, rng,
+                    byzantine_nodes: frozenset[int] = frozenset()) -> list[BFTSmartReplica]:
+        cost = CryptoCostModel(config.machine)
+        pool = SharedTxPool()
+        return [
+            BFTSmartReplica(env, network, node_id, keystore, config.f,
+                            config.batch_size, config.tx_size, cost,
+                            instance_timeout=self.instance_timeout,
+                            pool=pool, fill_blocks=config.fill_blocks,
+                            silent=node_id in byzantine_nodes)
+            for node_id in range(config.n_nodes)
+        ]
+
+    def start(self, nodes: Sequence[BFTSmartReplica]) -> None:
+        for replica in nodes:
+            if replica.silent:
+                continue
+            replica.env.process(replica.run_replica())
+            if replica.node_id == replica.leader:
+                replica.env.process(replica.run_leader())
+
+    def node_metrics(self, node: BFTSmartReplica, duration: float) -> NodeMetrics:
+        return committed_node_metrics(
+            node, duration,
+            totals={"instances_timed_out": node.instances_timed_out,
+                    "signatures": node.signatures})

@@ -1,0 +1,73 @@
+"""FireLedger under the pluggable-protocol contract.
+
+The node factory builds the same :class:`~repro.core.flo.FLONode` deployment
+``run_fireledger_cluster`` always built (including the equivocating-worker
+factory for Byzantine membership); the metric hook reads the node's
+:class:`~repro.metrics.recorder.MetricsRecorder` exactly as the old
+FireLedger-only aggregation loop did, so results are unchanged — they just
+flow through the protocol-agnostic :class:`~repro.protocols.base.NodeMetrics`
+shape now.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.flo import FLONode
+from repro.faults.byzantine import byzantine_worker_factory
+from repro.metrics.recorder import (
+    EVENT_BLOCK_PROPOSAL,
+    EVENT_FLO_DELIVERY,
+    EVENT_TENTATIVE_DECISION,
+)
+from repro.protocols.base import ConsensusProtocol, NodeMetrics
+
+
+class FireLedgerProtocol(ConsensusProtocol):
+    """The paper's protocol: FLO nodes running FireLedger worker instances."""
+
+    name = "fireledger"
+    min_nodes = 4
+
+    def build_nodes(self, env, network, keystore, config, rng,
+                    byzantine_nodes: frozenset[int] = frozenset()) -> list[FLONode]:
+        worker_factory = None
+        if byzantine_nodes:
+            worker_factory = byzantine_worker_factory(frozenset(byzantine_nodes))
+        return [
+            FLONode(env, network, node_id, config, keystore,
+                    rng=random.Random(rng.randrange(2 ** 62)),
+                    worker_factory=worker_factory)
+            for node_id in range(config.n_nodes)
+        ]
+
+    def start(self, nodes: Sequence[FLONode]) -> None:
+        for node in nodes:
+            node.start()
+
+    def node_metrics(self, node: FLONode, duration: float) -> NodeMetrics:
+        recorder = node.recorder
+        decided = recorder.blocks_with_event(EVENT_TENTATIVE_DECISION, duration)
+        delivered = recorder.blocks_with_event(EVENT_FLO_DELIVERY, duration)
+        return NodeMetrics(
+            tps=recorder.throughput_tps(duration, event=EVENT_FLO_DELIVERY),
+            bps=recorder.throughput_bps(duration, event=EVENT_TENTATIVE_DECISION),
+            recoveries_per_second=recorder.recoveries_per_second(duration),
+            latency_samples=recorder.latency_samples(
+                EVENT_BLOCK_PROPOSAL, EVENT_FLO_DELIVERY),
+            stage_breakdown=recorder.breakdown(),
+            totals={
+                "fast_path_rounds": recorder.fast_path_rounds,
+                "fallback_rounds": recorder.fallback_rounds,
+                "failed_rounds": recorder.failed_rounds,
+                "recoveries": len(recorder.recoveries),
+                "signatures": sum(worker.signatures_created
+                                  for worker in node.workers),
+            },
+            means={
+                "blocks_committed": len(decided),
+                "transactions_committed": sum(record.tx_count
+                                              for record in delivered),
+            },
+        )

@@ -1,0 +1,55 @@
+"""Chained HotStuff under the pluggable-protocol contract."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.hotstuff import HotStuffReplica
+from repro.crypto.cost_model import CryptoCostModel
+from repro.protocols.base import (
+    ConsensusProtocol,
+    NodeMetrics,
+    SharedTxPool,
+    committed_node_metrics,
+)
+
+
+class HotStuffProtocol(ConsensusProtocol):
+    """Rotating-leader chained HotStuff (see :mod:`repro.baselines.hotstuff`).
+
+    Byzantine membership maps onto a fail-stop under-approximation: marked
+    replicas stay silent, so their leader views time out and exercise the
+    NEW-VIEW skip path (equivocation is not modelled for the baselines).
+    """
+
+    name = "hotstuff"
+    min_nodes = 4
+
+    def __init__(self, view_timeout: float = 1.0) -> None:
+        if view_timeout <= 0:
+            raise ValueError("view_timeout must be positive")
+        self.view_timeout = view_timeout
+
+    def build_nodes(self, env, network, keystore, config, rng,
+                    byzantine_nodes: frozenset[int] = frozenset()) -> list[HotStuffReplica]:
+        cost = CryptoCostModel(config.machine)
+        pool = SharedTxPool()
+        return [
+            HotStuffReplica(env, network, node_id, keystore, config.f,
+                            config.batch_size, config.tx_size, cost,
+                            view_timeout=self.view_timeout,
+                            pool=pool, fill_blocks=config.fill_blocks,
+                            silent=node_id in byzantine_nodes)
+            for node_id in range(config.n_nodes)
+        ]
+
+    def start(self, nodes: Sequence[HotStuffReplica]) -> None:
+        for replica in nodes:
+            if not replica.silent:
+                replica.env.process(replica.run())
+
+    def node_metrics(self, node: HotStuffReplica, duration: float) -> NodeMetrics:
+        return committed_node_metrics(
+            node, duration,
+            totals={"views_timed_out": node.views_timed_out,
+                    "signatures": node.signatures})

@@ -173,8 +173,10 @@ def driver_for(spec: ScenarioSpec) -> Callable[..., list]:
     """
     def _driver(scale: "Optional[ExperimentScale]" = None,
                 n_nodes: Optional[int] = None,
-                workers: Optional[int] = None) -> list[dict]:
-        return run_scenario(spec, scale=scale, n_nodes=n_nodes, workers=workers)
+                workers: Optional[int] = None,
+                protocol: Optional[str] = None) -> list[dict]:
+        return run_scenario(spec, scale=scale, n_nodes=n_nodes,
+                            workers=workers, protocol=protocol)
 
     _driver.__name__ = "scenario_" + spec.name.replace("-", "_")
     _driver.__qualname__ = _driver.__name__

@@ -1,12 +1,13 @@
 """Execute a :class:`~repro.scenarios.spec.ScenarioSpec` on the simulator.
 
 The runner translates the declarative spec into the concrete knobs of
-:func:`~repro.core.cluster.run_fireledger_cluster`: topology -> latency
+:func:`~repro.core.cluster.run_cluster`: protocol -> registered
+:class:`~repro.protocols.base.ConsensusProtocol`, topology -> latency
 model, workload -> ``fill_blocks`` / client population, fault schedule ->
 timed crash/recover events + fault controller + Byzantine membership +
 metric-exclusion set.  It returns plain result-row dicts shaped like the
 figure drivers', so scenarios plug into the experiment registry, the sweep
-engine and the report renderer unchanged.
+engine and the report renderer unchanged — for any protocol.
 """
 
 from __future__ import annotations
@@ -15,38 +16,46 @@ from typing import Optional
 
 from typing import TYPE_CHECKING
 
-from repro.core.cluster import run_fireledger_cluster
+from repro.core.cluster import run_cluster
 from repro.core.config import FireLedgerConfig
 from repro.scenarios.spec import ScenarioSpec
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid a registry cycle
     from repro.experiments.harness import ExperimentScale
 
+#: Breakdown keys the row already reports through dedicated columns.
+_ROW_COVERED_COUNTERS = frozenset({
+    "fast_path_rounds", "fallback_rounds", "failed_rounds", "recoveries",
+})
+
 
 def run_scenario(spec: ScenarioSpec,
                  scale: "Optional[ExperimentScale]" = None,
                  n_nodes: Optional[int] = None,
                  workers: Optional[int] = None,
+                 protocol: Optional[str] = None,
                  seed: Optional[int] = None) -> list[dict]:
     """Run one scenario; returns one result row (as a single-item list).
 
-    ``n_nodes`` / ``workers`` override the spec (that is how the registry's
-    ``cluster_size`` / ``workers`` sweep axes reach a scenario); ``seed``
-    defaults to the scale's seed.  Durations come from the spec, not the
-    scale — fault phase times are absolute simulated seconds, so shrinking
-    the run would silently skip scheduled faults.
+    ``n_nodes`` / ``workers`` / ``protocol`` override the spec (that is how
+    the registry's ``cluster_size`` / ``workers`` / ``protocol`` sweep axes
+    reach a scenario); ``seed`` defaults to the scale's seed.  Durations come
+    from the spec, not the scale — fault phase times are absolute simulated
+    seconds, so shrinking the run would silently skip scheduled faults.
     """
     if scale is None:
         # Local import: repro.experiments pulls in the registry, which in
         # turn imports this package to register the scenario library.
         from repro.experiments.harness import ExperimentScale
         scale = ExperimentScale()
-    if n_nodes is not None or workers is not None:
-        overrides = {}
-        if n_nodes is not None:
-            overrides["n_nodes"] = n_nodes
-        if workers is not None:
-            overrides["workers"] = workers
+    overrides = {}
+    if n_nodes is not None:
+        overrides["n_nodes"] = n_nodes
+    if workers is not None:
+        overrides["workers"] = workers
+    if protocol is not None:
+        overrides["protocol"] = protocol
+    if overrides:
         spec = spec.with_overrides(**overrides)  # re-validates fault node ids
     seed = scale.seed if seed is None else seed
 
@@ -61,12 +70,18 @@ def run_scenario(spec: ScenarioSpec,
 
     def _setup(env, network, nodes) -> None:
         schedule.install(env, network)
-        workload = spec.workload.build(env, nodes, seed=seed)
+        # Clients avoid known-Byzantine endpoints: under the baselines those
+        # replicas are silent (fail-stop model) and would never advance a
+        # closed-loop client's delivered_transactions counter.
+        byzantine = schedule.byzantine_nodes
+        targets = [node for node in nodes if node.node_id not in byzantine]
+        workload = spec.workload.build(env, targets or nodes, seed=seed)
         if workload is not None:
             workload_box.append(workload)
 
-    result = run_fireledger_cluster(
+    result = run_cluster(
         config,
+        protocol=spec.protocol,
         duration=spec.duration,
         warmup=spec.warmup,
         seed=seed,
@@ -79,6 +94,7 @@ def run_scenario(spec: ScenarioSpec,
 
     row = {
         "scenario": spec.name,
+        "protocol": spec.protocol,
         "n": spec.n_nodes,
         "workers": spec.workers,
         "batch": spec.batch_size,
@@ -88,12 +104,21 @@ def run_scenario(spec: ScenarioSpec,
         "bps": round(result.bps, 2),
         "latency_p50_ms": round(result.latency.p50 * 1000, 1),
         "latency_p95_ms": round(result.latency.p95 * 1000, 1),
-        "fast_rounds": result.fast_path_rounds,
-        "fallback_rounds": result.fallback_rounds,
-        "failed_rounds": result.failed_rounds,
-        "recoveries": result.recoveries,
-        "msgs_dropped": result.network.messages_dropped,
     }
+    if spec.protocol == "fireledger":
+        # Historical column names, kept stable for recorded results.
+        row["fast_rounds"] = result.fast_path_rounds
+        row["fallback_rounds"] = result.fallback_rounds
+        row["failed_rounds"] = result.failed_rounds
+        row["recoveries"] = result.recoveries
+    else:
+        # Other protocols report their own counters (skipped views, committed
+        # blocks...) straight from the unified breakdown.
+        for key, value in sorted(result.breakdown.items()):
+            if "->" in key or key in _ROW_COVERED_COUNTERS:
+                continue
+            row[key] = round(value, 2)
+    row["msgs_dropped"] = result.network.messages_dropped
     if workload_box:
         workload = workload_box[0]
         row["submitted_tx"] = workload.total_submitted

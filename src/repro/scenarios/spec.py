@@ -314,6 +314,10 @@ class ScenarioSpec:
 
     name: str
     description: str = ""
+    #: Consensus protocol the scenario runs under — any name registered in
+    #: :mod:`repro.protocols` (``fireledger``, ``hotstuff``, ``bftsmart``).
+    #: The registry's ``protocol`` sweep axis overrides it per grid point.
+    protocol: str = "fireledger"
     n_nodes: int = 4
     workers: int = 1
     batch_size: int = 100
@@ -332,8 +336,14 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
-        if self.n_nodes < 4:
-            raise ValueError("FireLedger scenarios need n_nodes >= 4")
+        from repro import protocols  # lazy: the registry imports this module
+
+        if self.protocol not in protocols.names():
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"known: {', '.join(protocols.names())}")
+        if self.n_nodes < protocols.get(self.protocol).min_nodes:
+            raise ValueError(f"{self.protocol} scenarios need n_nodes >= "
+                             f"{protocols.get(self.protocol).min_nodes}")
         if self.duration <= 0 or not 0 <= self.warmup < self.duration:
             raise ValueError("require duration > 0 and 0 <= warmup < duration")
         self.faults.validate(self.n_nodes)
@@ -380,8 +390,9 @@ class ScenarioSpec:
         return replace(self, **overrides)
 
     def summary(self) -> dict[str, str]:
-        """The three dimensions as short strings, for the report renderer."""
+        """The scenario dimensions as short strings, for the report renderer."""
         return {
+            "protocol": self.protocol,
             "topology": self.topology.summary(),
             "workload": self.workload.summary(),
             "faults": self.faults.summary(),

@@ -44,6 +44,54 @@ def test_run_parser_collects_scale_and_axes():
     assert args.workers == (2,)
 
 
+def test_axis_assignment_parses_ints_and_names():
+    from repro.cli import _axis_assignment
+    assert _axis_assignment("protocol=fireledger,hotstuff") == (
+        "protocol", ("fireledger", "hotstuff"))
+    assert _axis_assignment("cluster-size=4,7") == ("cluster_size", (4, 7))
+    import argparse
+    with pytest.raises(argparse.ArgumentTypeError):
+        _axis_assignment("protocol")           # no '='
+    with pytest.raises(argparse.ArgumentTypeError):
+        _axis_assignment("frobnicate=1")       # unknown axis
+    with pytest.raises(argparse.ArgumentTypeError):
+        _axis_assignment("protocol=")          # no values
+
+
+def test_run_scenario_with_protocol_override(tmp_path, capsys):
+    rc = main(["run", "scenario:paper-lan", "--no-record",
+               "--protocol", "bftsmart", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bftsmart" in out
+
+
+def test_default_protocol_spelling_resumes_against_bare_run(tmp_path, capsys):
+    """`--axis protocol=<spec default>` hashes like the bare run, so the two
+    spellings share one record instead of double-recording."""
+    assert main(["run", "scenario:paper-lan",
+                 "--results-dir", str(tmp_path)]) == 0
+    assert main(["sweep", "scenario:paper-lan",
+                 "--axis", "protocol=fireledger",
+                 "--results-dir", str(tmp_path)]) == 0
+    assert "0 ran, 1 skipped" in capsys.readouterr().out
+    lines = (tmp_path / "scenario--paper-lan.jsonl").read_text().splitlines()
+    assert len(lines) == 1
+
+
+def test_sweep_protocol_axis_resumes(tmp_path, capsys):
+    argv = ["sweep", "scenario:paper-lan",
+            "--axis", "protocol=fireledger,bftsmart",
+            "--results-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "2 ran, 0 skipped" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "0 ran, 2 skipped" in capsys.readouterr().out
+    records = [json.loads(line) for line in
+               (tmp_path / "scenario--paper-lan.jsonl").read_text().splitlines()]
+    assert {r["params"]["protocol"] for r in records} == {"fireledger", "bftsmart"}
+
+
 def test_sweep_parser_accepts_seeds_axis():
     args = build_parser().parse_args(
         ["sweep", "fig10", "--cluster-sizes", "4,7", "--seeds", "1,2"])

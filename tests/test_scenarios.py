@@ -291,7 +291,7 @@ def test_every_library_scenario_is_registered():
     for name in library.names():
         spec = registry.get("scenario:" + name)
         assert spec.title == f"Scenario — {name}"
-        assert set(spec.axes) == {"cluster_size", "workers"}
+        assert set(spec.axes) == {"cluster_size", "workers", "protocol"}
 
 
 def test_scenario_sweep_and_resume(tmp_path):
