@@ -25,13 +25,17 @@ class PooledReplicaMixin:
     HEADER_OVERHEAD = 0
 
     def submit_transaction(self, size_bytes: Optional[int] = None,
-                           client_id: int = 0) -> Transaction:
-        """Client write request, queued on the cluster-wide pending pool."""
+                           client_id: int = 0) -> Optional[Transaction]:
+        """Client write request, queued on the cluster-wide pending pool.
+
+        Returns None when the pool is at its ``max_pending`` cap, mirroring
+        FLO's backpressure so capped scenarios drive all protocols alike.
+        """
         transaction = Transaction.create(client_id=client_id,
                                          size_bytes=size_bytes or self.tx_size,
                                          now=self.env.now)
-        if self.pool is not None:
-            self.pool.submit()
+        if self.pool is not None and not self.pool.submit():
+            return None
         return transaction
 
     @property

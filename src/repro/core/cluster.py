@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Optional
 from repro.core.config import FireLedgerConfig
 from repro.crypto.keys import KeyStore
 from repro.faults.crash import CrashSchedule
-from repro.metrics.summary import LatencySummary, ThroughputSummary
+from repro.metrics.summary import LatencyHistogram, LatencySummary, ThroughputSummary
 from repro.net.faults import FaultController
 from repro.net.latency import GeoDistributedLatency, LatencyModel, SingleDatacenterLatency
 from repro.net.network import Network, NetworkStats
@@ -90,6 +90,11 @@ class ClusterResult:
     def recoveries(self) -> int:
         """Recovery-procedure invocations across correct nodes."""
         return self._counter("recoveries")
+
+    @property
+    def transactions_rejected(self) -> int:
+        """Pool-cap rejections (0 unless ``pool_max_pending`` is set)."""
+        return self._counter("tx_rejected")
 
     @property
     def blocks_committed(self) -> int:
@@ -185,6 +190,7 @@ def run_cluster(config: FireLedgerConfig,
     per_node_bps: list[float] = []
     summaries: list[ThroughputSummary] = []
     latency_samples: list[float] = []
+    latency_histograms: list[LatencyHistogram] = []
     stage_totals: dict[str, float] = {}
     stage_counts: dict[str, int] = {}
     counter_totals: dict[str, float] = {}
@@ -199,6 +205,8 @@ def run_cluster(config: FireLedgerConfig,
             tps=metrics.tps, bps=metrics.bps,
             recoveries_per_second=metrics.recoveries_per_second))
         latency_samples.extend(metrics.latency_samples)
+        if metrics.latency_histogram is not None:
+            latency_histograms.append(metrics.latency_histogram)
         for key, value in metrics.stage_breakdown.items():
             stage_totals[key] = stage_totals.get(key, 0.0) + value
             stage_counts[key] = stage_counts.get(key, 0) + 1
@@ -209,8 +217,19 @@ def run_cluster(config: FireLedgerConfig,
             mean_counts[key] = mean_counts.get(key, 0) + 1
 
     throughput = ThroughputSummary.average(summaries)
-    latency = LatencySummary.from_samples(latency_samples,
-                                          trim_extreme_fraction=latency_trim)
+    if latency_histograms:
+        # Streaming (bounded-memory) runs: part of the distribution was
+        # folded into per-node histograms; merge them with every node's
+        # still-live raw samples into one histogram-backed summary.
+        merged = LatencyHistogram(bin_width=latency_histograms[0].bin_width)
+        for histogram in latency_histograms:
+            merged.merge(histogram)
+        merged.extend(latency_samples)
+        latency = LatencySummary.from_histogram(merged,
+                                                trim_extreme_fraction=latency_trim)
+    else:
+        latency = LatencySummary.from_samples(latency_samples,
+                                              trim_extreme_fraction=latency_trim)
     breakdown = {key: stage_totals[key] / stage_counts[key]
                  for key in stage_totals}
     breakdown.update(counter_totals)

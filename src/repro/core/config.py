@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.crypto.cost_model import M5_XLARGE, MachineSpec
 
@@ -67,6 +68,19 @@ class FireLedgerConfig:
     #: Saturated-load mode: top up every block with synthetic transactions.
     fill_blocks: bool = True
 
+    # --- memory / retention (long-horizon "soak" runs) ----------------------
+    #: Rounds of definite chain each worker retains; older blocks fold into a
+    #: running ChainSummary and are dropped.  None = keep everything (the
+    #: paper's behaviour; the effective floor is finality_depth + slack).
+    retention_rounds: Optional[int] = None
+    #: Rounds after which an undelivered metrics record is folded into the
+    #: recorder's streaming aggregates (None = keep every record, exact mode).
+    metrics_horizon_rounds: Optional[int] = None
+    #: Per-worker (FireLedger) / cluster-wide (baselines) transaction-pool
+    #: backlog cap; submissions beyond it are rejected and counted.  None =
+    #: unbounded.
+    pool_max_pending: Optional[int] = None
+
     def __post_init__(self) -> None:
         if self.n_nodes < 4:
             raise ValueError("FireLedger requires n >= 4 (f >= 1)")
@@ -81,11 +95,45 @@ class FireLedgerConfig:
             raise ValueError("batch_size must be >= 1")
         if self.tx_size < 1:
             raise ValueError("tx_size must be >= 1")
+        if self.retention_rounds is not None and self.retention_rounds < 1:
+            raise ValueError("retention_rounds must be >= 1 (or None)")
+        if (self.metrics_horizon_rounds is not None
+                and self.metrics_horizon_rounds < 0):
+            raise ValueError("metrics_horizon_rounds must be >= 0 (or None)")
+        if self.pool_max_pending is not None and self.pool_max_pending < 1:
+            raise ValueError("pool_max_pending must be >= 1 (or None)")
 
     @property
     def finality_depth(self) -> int:
         """Blocks stay tentative for ``f + 1`` rounds (BBFC(f + 1))."""
         return self.f + 1
+
+    @property
+    def effective_retention_rounds(self) -> Optional[int]:
+        """The chain retention actually applied (None = keep everything).
+
+        Floored at ``2 * (finality_depth + 1)``: the proposer-permutation
+        refresh seeds from the definite block ``2 * (f + 2)`` rounds back,
+        which must still be live for a pruned chain to draw the same
+        schedules as an unpruned one.  (The chain applies its own
+        ``finality_depth + PRUNE_SLACK`` floor on top; this one is larger.)
+        """
+        if self.retention_rounds is None:
+            return None
+        return max(self.retention_rounds, 2 * (self.finality_depth + 1))
+
+    @property
+    def effective_metrics_horizon(self) -> Optional[int]:
+        """The streaming-metrics horizon actually applied (None = exact mode).
+
+        Floored at ``finality_depth + 1``: a record within ``finality_depth``
+        of its worker's newest round can still be rescinded by a recovery,
+        and folding is irreversible — a smaller requested horizon would let
+        rescinded rounds leak into the streamed aggregates.
+        """
+        if self.metrics_horizon_rounds is None:
+            return None
+        return max(self.metrics_horizon_rounds, self.finality_depth + 1)
 
     def with_overrides(self, **overrides) -> "FireLedgerConfig":
         """Copy of the config with selected fields replaced."""

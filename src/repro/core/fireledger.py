@@ -72,14 +72,17 @@ class FireLedgerWorker:
         self.config = config
         self.keystore = keystore
         self.keys = keystore.key_for(node_id)
-        self.recorder = recorder or MetricsRecorder(node_id)
+        self.recorder = recorder or MetricsRecorder(
+            node_id, horizon_rounds=config.effective_metrics_horizon)
         self.rng = rng or random.Random(node_id * 1009 + worker_id)
         self.on_definite = on_definite
         self.channel = f"{channel_prefix}/{worker_id}"
 
         self.cost = CryptoCostModel(config.machine)
-        self.chain = Blockchain(config.finality_depth, worker_id)
-        self.txpool = TxPool(config.tx_size, self.rng)
+        self.chain = Blockchain(config.finality_depth, worker_id,
+                                retention_rounds=config.effective_retention_rounds)
+        self.txpool = TxPool(config.tx_size, self.rng,
+                             max_pending=config.pool_max_pending)
         self.timer = AdaptiveTimer(config.initial_timer, config.timer_ema_window,
                                    config.timer_multiplier, config.min_timer,
                                    config.max_timer)
@@ -103,6 +106,8 @@ class FireLedgerWorker:
         # --- data path state -------------------------------------------------
         self._bodies: dict[str, Batch] = {}
         self._body_events: dict[str, Any] = {}
+        self._body_order: deque[str] = deque()
+        self._decided_roots: deque[str] = deque()
         self._ready_bodies: deque[str] = deque()
         self._body_ready_at: dict[str, float] = {}
         self._evidence_by_round: dict[int, dict] = {}
@@ -188,6 +193,7 @@ class FireLedgerWorker:
         if batch.root != root:
             return  # corrupted body; ignore it
         self._bodies[root] = batch
+        self._body_order.append(root)
         event = self._body_events.pop(root, None)
         if event is not None and not event.triggered:
             event.succeed()
@@ -275,6 +281,7 @@ class FireLedgerWorker:
         root = batch.root
         self._charge_background(self.cost.hash_time(batch.size_bytes))
         self._bodies[root] = batch
+        self._body_order.append(root)
         event = self._body_events.pop(root, None)
         if event is not None and not event.triggered:
             event.succeed()
@@ -577,6 +584,8 @@ class FireLedgerWorker:
 
         block = yield from self._assemble_block(payload)
         self.chain.append(block)
+        if self.chain.retention_rounds is not None and header.tx_count > 0:
+            self._decided_roots.append(header.tx_root)
         self._consume_ready_root(header.tx_root)
         self.recorder.record_event(self.worker_id, round_number,
                                    EVENT_TENTATIVE_DECISION, self.env.now,
@@ -630,6 +639,7 @@ class FireLedgerWorker:
 
     def _emit_definite(self) -> None:
         definite_height = self.chain.definite_height
+        newly_definite: list[Block] = []
         while self._last_definite_emitted < definite_height:
             self._last_definite_emitted += 1
             block = self.chain.block_at_round(self._last_definite_emitted)
@@ -638,10 +648,60 @@ class FireLedgerWorker:
             self.recorder.record_event(self.worker_id, block.round_number,
                                        EVENT_DEFINITE_DECISION, self.env.now,
                                        tx_count=block.tx_count)
-            if self.on_definite is not None:
+            newly_definite.append(block)
+        # Record every D before any delivery callback: FLO's round-robin
+        # drain delivers by chain state and may release *all* newly definite
+        # rounds during the first callback — in streaming-metrics mode the E
+        # event folds a record immediately, so a D recorded after it would
+        # re-create the record and lose the C->D / D->E spans.
+        if self.on_definite is not None:
+            for block in newly_definite:
                 self.on_definite(self.worker_id, block, self.env.now)
 
+    def _bound_caches(self) -> None:
+        """Evict per-round caches past the retention window (soak runs).
+
+        Only active when the config bounds chain retention: the evidence /
+        fast-certificate maps and the received-body store then keep at most a
+        retention window of history (a correct peer can only lag by rounds
+        still inside it; anything older is definite everywhere).
+
+        Bodies are evicted primarily through ``_decided_roots`` — a body may
+        only be dropped once its block was decided at least a retention
+        window ago, because an *undecided* body (pre-disseminated up to a
+        full proposer rotation ahead of its round) is still needed by every
+        node to accept that round.  The ``_body_order`` sweep is a safety
+        valve for bodies that never decide (an equivocator's orphans), with a
+        cap generous enough (four proposer rotations of pipelined bodies)
+        that it cannot touch a body the chain is still waiting for.
+        """
+        retention = self.chain.effective_retention
+        if retention is None:
+            return
+        cutoff = self.round - retention
+        for cache in (self._evidence_by_round, self._fast_certs):
+            if len(cache) > retention:
+                for stale_round in [r for r in cache if r < cutoff]:
+                    del cache[stale_round]
+        while len(self._decided_roots) > retention:
+            self._drop_body(self._decided_roots.popleft())
+        body_cap = max(2 * retention, 4 * self.config.n_nodes
+                       * self.config.max_outstanding_bodies)
+        for _ in range(len(self._body_order)):
+            if len(self._body_order) <= body_cap:
+                break
+            root = self._body_order.popleft()
+            if root in self._ready_bodies:
+                self._body_order.append(root)  # still pipeline-pending
+                continue
+            self._drop_body(root)
+
+    def _drop_body(self, root: str) -> None:
+        self._bodies.pop(root, None)
+        self._body_ready_at.pop(root, None)
+
     def _purge_stale(self) -> None:
+        self._bound_caches()
         current = self.round
 
         def _is_stale(message: Message) -> bool:

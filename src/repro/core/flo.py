@@ -37,7 +37,8 @@ class FLONode:
         self.config = config
         self.keystore = keystore
         self.rng = rng or random.Random(node_id * 7919)
-        self.recorder = MetricsRecorder(node_id)
+        self.recorder = MetricsRecorder(
+            node_id, horizon_rounds=config.effective_metrics_horizon)
         factory = worker_factory or FireLedgerWorker
 
         self.workers = [
@@ -47,6 +48,11 @@ class FLONode:
                     on_definite=self._on_definite)
             for worker_id in range(config.workers)
         ]
+        for worker in self.workers:
+            # The round-robin merge gates pruning: a chain may drop a round
+            # only after FLO has released it to clients (head-of-line blocked
+            # rounds stay live even past the retention window).
+            worker.chain.released_through = -1
         self._channel_map = {worker.channel: worker for worker in self.workers}
         self._extra_handlers: dict[str, Callable[[Message], None]] = {}
         network.endpoint(node_id).router = self._route
@@ -81,14 +87,19 @@ class FLONode:
 
     # ----------------------------------------------------------------- client
     def submit_transaction(self, size_bytes: Optional[int] = None,
-                           client_id: int = 0) -> Transaction:
-        """Client write request: routed to the least-loaded worker."""
+                           client_id: int = 0) -> Optional[Transaction]:
+        """Client write request: routed to the least-loaded worker.
+
+        Returns None when every worker pool is at its ``pool_max_pending``
+        cap — backpressure the client observes (and the cluster counts).
+        """
         transaction = Transaction.create(
             client_id=client_id,
             size_bytes=size_bytes or self.config.tx_size,
             now=self.env.now)
         target = min(self.workers, key=lambda worker: worker.txpool.pending)
-        target.txpool.submit(transaction)
+        if not target.txpool.submit(transaction):
+            return None  # counted by the pool (see rejected_transactions)
         self.submitted_transactions += 1
         return transaction
 
@@ -112,11 +123,17 @@ class FLONode:
                                                tx_count=block.tx_count)
                     self.delivered_blocks += 1
                     self.delivered_transactions += block.tx_count
+                worker.chain.mark_released(round_number)
                 self._next_round[self._delivery_cursor] = round_number + 1
                 self._delivery_cursor = (self._delivery_cursor + 1) % len(workers)
                 progressed = True
 
     # ------------------------------------------------------------- inspection
+    @property
+    def rejected_transactions(self) -> int:
+        """Pool-cap rejections across this node's workers."""
+        return sum(worker.txpool.rejected for worker in self.workers)
+
     @property
     def total_recoveries(self) -> int:
         """Recovery invocations across all workers."""

@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
-from repro.experiments import figures, speed
+from repro.experiments import figures, memory, speed
 from repro.experiments.harness import ExperimentScale
 
 # Canonical axis names, shared by the CLI flags and the sweep engine.
@@ -251,6 +251,11 @@ def _register_all() -> None:
     register(ExperimentSpec(
         name="simspeed", func=speed.sim_speed,
         title="Simulator speed — wall-clock microbenchmark",
+        axes={AXIS_CLUSTER: _kwarg_axis("n_nodes")},
+        wall_clock=True))
+    register(ExperimentSpec(
+        name="memfootprint", func=memory.memory_footprint,
+        title="Memory footprint — bounded retention vs keep-everything",
         axes={AXIS_CLUSTER: _kwarg_axis("n_nodes")},
         wall_clock=True))
     _register_scenarios()

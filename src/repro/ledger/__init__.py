@@ -7,7 +7,7 @@ rescind).  This is the core state every FireLedger node maintains.
 """
 
 from repro.ledger.block import Block, BlockHeader, build_block, header_for_batch, make_genesis
-from repro.ledger.chain import Blockchain, ChainVersion
+from repro.ledger.chain import Blockchain, ChainSummary, ChainVersion
 from repro.ledger.transaction import Batch, Transaction
 from repro.ledger.txpool import TxPool
 from repro.ledger.validation import ValidationError, validate_block, validate_chain
@@ -21,6 +21,7 @@ __all__ = [
     "BlockHeader",
     "make_genesis",
     "Blockchain",
+    "ChainSummary",
     "ChainVersion",
     "TxPool",
     "ValidationError",

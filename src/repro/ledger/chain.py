@@ -2,9 +2,19 @@
 
 FireLedger implements BBFC(f + 1): the last ``f + 1`` blocks of the local
 chain are *tentative* (a recovery may replace them), everything older is
-*definite* and will never change.  :class:`Blockchain` keeps the whole chain
+*definite* and will never change.  :class:`Blockchain` keeps the live chain
 plus the index of the newest definite block, and supports the operations the
 recovery procedure needs (extract a version, adopt a version).
+
+Long-horizon runs additionally bound memory with a **retention policy**: the
+definite prefix older than ``max(retention_rounds, finality_depth +
+PRUNE_SLACK)`` rounds below the head is folded into a running
+:class:`ChainSummary` (block/transaction/byte counters plus a rolling digest)
+and dropped from the live list.  This is safe by construction — a recovery of
+round ``r`` only ever disputes rounds ``>= r - finality_depth`` (Algorithm 3),
+and the prune boundary is kept strictly below the newest definite block — the
+same definite-prefix garbage collection BBCA-LEDGER applies to delivered
+slots and Conflux applies to its pivot chain.
 """
 
 from __future__ import annotations
@@ -12,7 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.crypto.hashing import hash_bytes
 from repro.ledger.block import Block, make_genesis
+
+#: Extra definite rounds kept beyond ``finality_depth`` so that any recovery
+#: version (which starts at ``recovery_round - finality_depth``) and its
+#: hash-link anchor are always still live.
+PRUNE_SLACK = 2
 
 
 @dataclass(frozen=True)
@@ -46,20 +62,68 @@ class ChainVersion:
         return sum(block.size_bytes for block in self.blocks)
 
 
-class Blockchain:
-    """A single worker's local chain."""
+@dataclass
+class ChainSummary:
+    """Running digest of the pruned definite prefix of one chain.
 
-    def __init__(self, finality_depth: int, worker_id: int = 0) -> None:
+    Pruned blocks are gone from memory but not from the ledger's history:
+    the summary keeps their count, transaction and byte totals, the newest
+    pruned round, and a rolling hash chaining every pruned block's digest so
+    the compacted prefix stays commitment-checkable.
+    """
+
+    blocks: int = 0
+    transactions: int = 0
+    bytes: int = 0
+    newest_round: int = -1
+    rolling_digest: str = ""
+
+    def fold(self, block: Block) -> None:
+        """Absorb one pruned block (oldest first)."""
+        if block.round_number >= 0:  # the genesis placeholder is not a block
+            self.blocks += 1
+            self.transactions += block.tx_count
+            self.bytes += block.size_bytes
+        self.newest_round = max(self.newest_round, block.round_number)
+        self.rolling_digest = hash_bytes(
+            (self.rolling_digest + block.digest).encode("ascii"))
+
+
+class Blockchain:
+    """A single worker's local chain, optionally with bounded retention.
+
+    ``retention_rounds=None`` (the default) keeps every block forever — the
+    paper's behaviour.  With ``retention_rounds=k`` the chain retains the
+    newest ``max(k, finality_depth + PRUNE_SLACK)`` rounds and folds older
+    definite blocks into :attr:`summary`.  When :attr:`released_through` is
+    set (FLO does this), pruning additionally waits until the round-robin
+    merge has released a round to clients, so head-of-line blocked rounds are
+    never dropped before delivery.
+    """
+
+    def __init__(self, finality_depth: int, worker_id: int = 0,
+                 retention_rounds: Optional[int] = None) -> None:
         if finality_depth < 1:
             raise ValueError("finality_depth must be >= 1")
+        if retention_rounds is not None and retention_rounds < 1:
+            raise ValueError("retention_rounds must be >= 1 (or None)")
         self.finality_depth = finality_depth
         self.worker_id = worker_id
+        self.retention_rounds = retention_rounds
+        self.summary = ChainSummary()
+        #: Newest round released to clients (FLO delivery watermark); ``None``
+        #: disables release gating (standalone chains prune by retention only).
+        self.released_through: Optional[int] = None
         self._blocks: list[Block] = [make_genesis(worker_id)]
+        #: Round number of ``_blocks[0]`` (the chain is always contiguous).
+        self._base_round = -1
         #: Index (into ``_blocks``) of the newest definite block.
         self._definite_index = 0
+        self._snapshot_cache: Optional[tuple[Block, ...]] = None
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
+        """Number of *live* (unpruned) blocks, including the genesis entry."""
         return len(self._blocks)
 
     @property
@@ -73,19 +137,33 @@ class Blockchain:
         return self._blocks[-1]
 
     @property
-    def blocks(self) -> list[Block]:
-        """Snapshot of all blocks, genesis first."""
-        return list(self._blocks)
+    def pruned_through(self) -> int:
+        """Newest pruned round (-1 when nothing has been pruned)."""
+        return self.summary.newest_round
 
     @property
-    def definite_blocks(self) -> list[Block]:
-        """Blocks that are final (excluding the genesis placeholder)."""
-        return [b for b in self._blocks[:self._definite_index + 1] if b.round_number >= 0]
+    def total_blocks(self) -> int:
+        """Non-genesis blocks ever appended and kept: live + pruned."""
+        live = sum(1 for b in self._blocks if b.round_number >= 0)
+        return live + self.summary.blocks
 
     @property
-    def tentative_blocks(self) -> list[Block]:
+    def blocks(self) -> tuple[Block, ...]:
+        """Snapshot of the live blocks, oldest first (cached tuple)."""
+        if self._snapshot_cache is None:
+            self._snapshot_cache = tuple(self._blocks)
+        return self._snapshot_cache
+
+    @property
+    def definite_blocks(self) -> tuple[Block, ...]:
+        """Live final blocks (excluding the genesis placeholder)."""
+        return tuple(b for b in self._blocks[:self._definite_index + 1]
+                     if b.round_number >= 0)
+
+    @property
+    def tentative_blocks(self) -> tuple[Block, ...]:
         """The still-revocable suffix."""
-        return list(self._blocks[self._definite_index + 1:])
+        return tuple(self._blocks[self._definite_index + 1:])
 
     @property
     def definite_height(self) -> int:
@@ -93,8 +171,8 @@ class Blockchain:
         return self._blocks[self._definite_index].round_number
 
     def block_at_round(self, round_number: int) -> Optional[Block]:
-        """The block decided at ``round_number``, if present."""
-        offset = round_number + 1  # genesis occupies index 0 with round -1
+        """The block decided at ``round_number``; None if absent or pruned."""
+        offset = round_number - self._base_round
         if 0 <= offset < len(self._blocks):
             block = self._blocks[offset]
             if block.round_number == round_number:
@@ -106,12 +184,23 @@ class Blockchain:
                 return block
         return None
 
+    def is_pruned(self, round_number: int) -> bool:
+        """Whether the block at ``round_number`` was folded into the summary."""
+        return round_number <= self.summary.newest_round
+
     def depth_of(self, round_number: int) -> int:
-        """Depth ``d(v^r) = r' - r`` of the block at ``round_number``."""
+        """Depth ``d(v^r) = r' - r`` of the block at ``round_number``.
+
+        Pure round arithmetic, so it stays correct for pruned rounds.
+        """
         return self.height - round_number
 
     def is_definite(self, round_number: int) -> bool:
-        """Whether the block at ``round_number`` is definite."""
+        """Whether the block at ``round_number`` is definite.
+
+        Pruned rounds are definite by construction (only definite blocks are
+        ever pruned), so this answers correctly over the pruned prefix too.
+        """
         return round_number <= self.definite_height
 
     # --------------------------------------------------------------- mutation
@@ -125,7 +214,9 @@ class Blockchain:
             raise ValueError(
                 f"expected round {self.height + 1}, got {block.round_number}")
         self._blocks.append(block)
+        self._snapshot_cache = None
         self._advance_finality()
+        self._prune()
 
     def _advance_finality(self) -> None:
         # Every block at depth > finality_depth becomes definite
@@ -134,17 +225,59 @@ class Blockchain:
         if newest_definite > self._definite_index:
             self._definite_index = newest_definite
 
+    # --------------------------------------------------------------- pruning
+    @property
+    def effective_retention(self) -> Optional[int]:
+        """Rounds actually retained below the head (None = keep everything)."""
+        if self.retention_rounds is None:
+            return None
+        return max(self.retention_rounds, self.finality_depth + PRUNE_SLACK)
+
+    def mark_released(self, round_number: int) -> None:
+        """Advance the delivery watermark (FLO calls this per released round)."""
+        if self.released_through is None or round_number > self.released_through:
+            self.released_through = round_number
+            self._prune()
+
+    def _prune(self) -> None:
+        retention = self.effective_retention
+        if retention is None:
+            return
+        cut = self.height - retention  # prune rounds <= cut
+        if self.released_through is not None:
+            cut = min(cut, self.released_through)
+        drop = cut - self._base_round + 1
+        if drop <= 0:
+            return
+        # Never prune into the tentative suffix or past the definite anchor
+        # recovery adoption needs (effective_retention >= f + 3 guarantees
+        # this already; the clamp guards against future retune mistakes).
+        drop = min(drop, self._definite_index)
+        if drop <= 0:
+            return
+        for block in self._blocks[:drop]:
+            self.summary.fold(block)
+        del self._blocks[:drop]
+        self._base_round += drop
+        self._definite_index -= drop
+        self._snapshot_cache = None
+
+    # -------------------------------------------------------------- recovery
     def version_for_recovery(self, recovery_round: int) -> ChainVersion:
         """Extract this node's version for a recovery of ``recovery_round``.
 
         Mirrors Algorithm 3 lines 3-7: if the node is too far behind it sends
         the empty version, otherwise it sends the blocks from round
         ``recovery_round - (finality_depth)`` (exclusive of anything already
-        agreed) up to its newest block.
+        agreed) up to its newest block.  On a pruned chain the window is
+        clamped to the oldest live round: anything older is definite at every
+        correct node (it was pruned only after sitting ``>= finality_depth +
+        PRUNE_SLACK`` rounds below the head), so no recovery can dispute it.
         """
         if self.height < recovery_round - 1:
             return ChainVersion(sender=-1, blocks=())
-        oldest = max(0, recovery_round - self.finality_depth)
+        oldest = max(0, recovery_round - self.finality_depth,
+                     self.summary.newest_round + 1)
         blocks = tuple(b for b in self._blocks if b.round_number >= oldest)
         return ChainVersion(sender=-1, blocks=blocks)
 
@@ -153,12 +286,18 @@ class Blockchain:
 
         The definite prefix is never modified (BBFC-Finality); the version must
         connect to it.  Blocks the version shares with the local chain are kept
-        as is.
+        as is.  A version whose anchor round was pruned cannot connect — it
+        would rewrite history older than the retention window — and is
+        rejected exactly like one rewriting the live definite prefix.
         """
         if version.is_empty:
             return []
         removed: list[Block] = []
         first_round = version.blocks[0].round_number
+        if first_round - 1 < self._base_round:
+            raise ValueError(
+                f"version starting at round {first_round} anchors in the "
+                f"pruned prefix (oldest live round {self._base_round})")
         # Find the local block the version's first block must link to.
         anchor_index = None
         for index, block in enumerate(self._blocks):
@@ -187,9 +326,11 @@ class Blockchain:
         if not removed and not replacement:
             return []
         self._blocks = (self._blocks[:anchor_index + 1 + shared] + replacement)
+        self._snapshot_cache = None
         self._advance_finality()
+        self._prune()
         return removed
 
     def iter_rounds(self) -> Iterable[int]:
-        """Round numbers of all non-genesis blocks, oldest first."""
+        """Round numbers of all live non-genesis blocks, oldest first."""
         return (block.round_number for block in self._blocks if block.round_number >= 0)

@@ -16,18 +16,30 @@ class TxPool:
     block to transmit, the node fills the block with random transactions, up
     to its maximal capacity" (Section 7.2); ``fill_random`` reproduces that so
     throughput benchmarks always measure the protocol, not the offered load.
+
+    ``max_pending`` bounds the backlog for long-horizon runs: once the pool
+    holds that many transactions, further :meth:`submit` calls are declined
+    (returning False) and counted in :attr:`rejected` — backpressure a
+    closed-loop client observes, drop-and-count for an open-loop one.
+    ``None`` (the default) keeps the pool unbounded, the paper's behaviour.
     """
 
     def __init__(self, default_tx_size: int = 512,
                  rng: Optional[random.Random] = None,
-                 synthetic_client_id: int = -1) -> None:
+                 synthetic_client_id: int = -1,
+                 max_pending: Optional[int] = None) -> None:
         if default_tx_size <= 0:
             raise ValueError("default_tx_size must be positive")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
         self.default_tx_size = default_tx_size
         self.rng = rng or random.Random(0)
         self.synthetic_client_id = synthetic_client_id
+        self.max_pending = max_pending
         self._pending: deque[Transaction] = deque()
         self.submitted = 0
+        self.rejected = 0
+        self.requeue_dropped = 0
         self.synthetic_generated = 0
 
     def __len__(self) -> int:
@@ -38,10 +50,20 @@ class TxPool:
         """Number of transactions waiting to be batched."""
         return len(self._pending)
 
-    def submit(self, transaction: Transaction) -> None:
-        """Add a client transaction to the pool."""
+    @property
+    def is_full(self) -> bool:
+        """Whether the pool is at its ``max_pending`` capacity."""
+        return (self.max_pending is not None
+                and len(self._pending) >= self.max_pending)
+
+    def submit(self, transaction: Transaction) -> bool:
+        """Add a client transaction; returns False (and counts) when full."""
+        if self.is_full:
+            self.rejected += 1
+            return False
         self._pending.append(transaction)
         self.submitted += 1
+        return True
 
     def take_batch(self, batch_size: int, now: float = 0.0,
                    fill_random: bool = True) -> Batch:
@@ -69,7 +91,16 @@ class TxPool:
                      filler_nonce=nonce)
 
     def requeue(self, transactions: list[Transaction]) -> None:
-        """Return transactions to the pool head (e.g. after a rescinded block)."""
+        """Return transactions to the pool head (e.g. after a rescinded block).
+
+        Respects ``max_pending``: requeued transactions past the capacity are
+        dropped and counted in :attr:`requeue_dropped` (the client will
+        observe the loss and retry, as after any rejected write).
+        """
         for transaction in reversed(transactions):
-            if transaction.client_id != self.synthetic_client_id:
-                self._pending.appendleft(transaction)
+            if transaction.client_id == self.synthetic_client_id:
+                continue
+            if self.is_full:
+                self.requeue_dropped += 1
+                continue
+            self._pending.appendleft(transaction)

@@ -14,7 +14,12 @@ from repro.metrics.recorder import (
     EVENT_TENTATIVE_DECISION,
     MetricsRecorder,
 )
-from repro.metrics.summary import LatencySummary, ThroughputSummary, percentile
+from repro.metrics.summary import (
+    LatencyHistogram,
+    LatencySummary,
+    ThroughputSummary,
+    percentile,
+)
 
 __all__ = [
     "MetricsRecorder",
@@ -25,6 +30,7 @@ __all__ = [
     "EVENT_DEFINITE_DECISION",
     "EVENT_FLO_DELIVERY",
     "ThroughputSummary",
+    "LatencyHistogram",
     "LatencySummary",
     "percentile",
 ]

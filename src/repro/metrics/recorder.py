@@ -11,13 +11,25 @@ The paper instruments every round with five events (Section 7.2.2):
 The recorder stores these timestamps per (worker, round) plus throughput and
 recovery counters; the summary helpers turn them into the tps/bps/latency/
 breakdown numbers each figure reports.
+
+Memory model: by default every :class:`BlockRecord` is kept for the whole run
+(exact percentiles, the figure drivers' mode).  With ``horizon_rounds`` set,
+the recorder *streams*: a record is folded into windowed aggregates — per-
+event counters/transaction totals, per-span sums for the breakdown, and a
+fixed-bin :class:`~repro.metrics.summary.LatencyHistogram` for the A→E span —
+as soon as its E event arrives, or once its round falls ``horizon_rounds``
+behind its worker's newest round.  Live state is then O(horizon), not O(run
+length), and every summary method transparently combines the folded
+aggregates with the still-live records.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.metrics.summary import LatencyHistogram
 
 EVENT_BLOCK_PROPOSAL = "A"
 EVENT_HEADER_PROPOSAL = "B"
@@ -31,6 +43,19 @@ BLOCK_EVENTS = (
     EVENT_DEFINITE_DECISION,
     EVENT_FLO_DELIVERY,
 )
+_EVENT_PAIRS = tuple(zip(BLOCK_EVENTS[:-1], BLOCK_EVENTS[1:]))
+
+#: How many recent recovery timestamps a :class:`RecoveryLog` retains.
+RECENT_RECOVERIES = 64
+
+
+def stale_fold_grace(horizon_rounds: int) -> int:
+    """Rounds a decided-but-undelivered record may lag before stale-folding.
+
+    Head-of-line-blocked records (C without E) get this grace instead of the
+    plain horizon; shared with the CI soak smoke's live-record bound.
+    """
+    return max(4 * horizon_rounds, horizon_rounds + 16)
 
 
 @dataclass
@@ -40,6 +65,12 @@ class BlockRecord:
     worker_id: int
     round_number: int
     tx_count: int = 0
+    #: Whether ``tx_count`` has been set by an event (first writer wins).
+    tx_count_known: bool = False
+    #: Streaming mode: this record was re-created by a straggler event after
+    #: its round had already been stale-folded (it must not be counted as a
+    #: fresh record when folded again).
+    refold: bool = False
     events: dict = field(default_factory=dict)
 
     def span(self, start_event: str, end_event: str) -> Optional[float]:
@@ -49,36 +80,112 @@ class BlockRecord:
         return self.events[end_event] - self.events[start_event]
 
 
-class MetricsRecorder:
-    """Collects protocol events for one node."""
+class RecoveryLog:
+    """Recovery invocations: exact count + a bounded recent-timestamp list.
 
-    def __init__(self, node_id: int) -> None:
+    Window filtering lives on the recorder (which owns the measurement
+    window); the log itself only promises the exact total and the newest
+    ``recent_limit`` timestamps.
+    """
+
+    def __init__(self, recent_limit: int = RECENT_RECOVERIES) -> None:
+        self.count = 0
+        self.recent: deque[float] = deque(maxlen=recent_limit)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        return iter(self.recent)
+
+    def append(self, time: float) -> None:
+        self.count += 1
+        self.recent.append(time)
+
+
+class MetricsRecorder:
+    """Collects protocol events for one node.
+
+    ``horizon_rounds=None`` keeps every block record (exact mode);
+    ``horizon_rounds=k`` enables streaming: records are folded into bounded
+    aggregates on their E event or once ``k`` rounds stale.
+    """
+
+    def __init__(self, node_id: int,
+                 horizon_rounds: Optional[int] = None) -> None:
+        if horizon_rounds is not None and horizon_rounds < 0:
+            raise ValueError("horizon_rounds must be >= 0 (or None)")
         self.node_id = node_id
+        self.horizon_rounds = horizon_rounds
         self._blocks: dict[tuple[int, int], BlockRecord] = {}
-        self.recoveries: list[float] = []
+        self.recoveries = RecoveryLog()
+        self._recoveries_in_window = 0
         self.fast_path_rounds = 0
         self.fallback_rounds = 0
         self.failed_rounds = 0
         self.signature_operations = 0
         self.measure_start: float = 0.0
         self.measure_end: Optional[float] = None
+        # --- streaming aggregates (populated only when horizon_rounds set) ---
+        self.records_folded = 0
+        #: Stale folds that later saw their E event (their A->E latency
+        #: sample is lost; nonzero means the horizon was too tight for the
+        #: run's head-of-line blocking).
+        self.late_deliveries = 0
+        self._newest_round: dict[int, int] = {}
+        self._stale_folded_through: dict[int, int] = {}
+        self._folded_event_count: dict[str, int] = defaultdict(int)
+        self._folded_event_tx: dict[str, int] = defaultdict(int)
+        self._folded_pair_sums: dict[str, float] = defaultdict(float)
+        self._folded_pair_counts: dict[str, int] = defaultdict(int)
+        self._folded_latency: Optional[LatencyHistogram] = None
+
+    @property
+    def streaming(self) -> bool:
+        """Whether bounded-memory streaming mode is enabled."""
+        return self.horizon_rounds is not None
+
+    @property
+    def live_records(self) -> int:
+        """Block records currently held in memory."""
+        return len(self._blocks)
 
     # ---------------------------------------------------------------- events
     def _record(self, worker_id: int, round_number: int) -> BlockRecord:
         key = (worker_id, round_number)
-        if key not in self._blocks:
-            self._blocks[key] = BlockRecord(worker_id, round_number)
-        return self._blocks[key]
+        record = self._blocks.get(key)
+        if record is None:
+            record = BlockRecord(worker_id, round_number)
+            if (self.streaming and round_number
+                    <= self._stale_folded_through.get(worker_id, -1)):
+                record.refold = True
+            self._blocks[key] = record
+            if self.streaming:
+                newest = self._newest_round.get(worker_id, -1)
+                if round_number > newest:
+                    self._newest_round[worker_id] = round_number
+                    self._fold_stale()
+        return record
 
     def record_event(self, worker_id: int, round_number: int, event: str,
                      time: float, tx_count: Optional[int] = None) -> None:
-        """Record one of the A..E events for a block."""
+        """Record one of the A..E events for a block.
+
+        Timestamps are first-write-wins (a re-delivered event never moves an
+        already-recorded time) and so is ``tx_count``: the first event that
+        reports a transaction count pins it, so a later event re-reporting
+        (e.g. E after a recovery re-delivered a different body size estimate)
+        cannot silently rewrite the round's accounting.
+        """
         if event not in BLOCK_EVENTS:
             raise ValueError(f"unknown event {event!r}")
         record = self._record(worker_id, round_number)
         record.events.setdefault(event, time)
-        if tx_count is not None:
+        if tx_count is not None and not record.tx_count_known:
             record.tx_count = tx_count
+            record.tx_count_known = True
+        if self.streaming and event == EVENT_FLO_DELIVERY:
+            self._fold(self._blocks.pop((worker_id, round_number)))
 
     def discard_block(self, worker_id: int, round_number: int) -> None:
         """Forget a block rescinded by recovery (it never counts as decided)."""
@@ -87,6 +194,9 @@ class MetricsRecorder:
     def record_recovery(self, time: float) -> None:
         """Count one invocation of the recovery procedure."""
         self.recoveries.append(time)
+        end = self.measure_end if self.measure_end is not None else float("inf")
+        if self.measure_start <= time <= end:
+            self._recoveries_in_window += 1
 
     def record_round_outcome(self, fast_path: bool, delivered: bool) -> None:
         """Track how each WRB round completed (for Table 1 accounting)."""
@@ -97,11 +207,77 @@ class MetricsRecorder:
         else:
             self.fallback_rounds += 1
 
+    # ------------------------------------------------------------- streaming
+    def _fold_stale(self) -> None:
+        """Fold records that fell out of the per-worker round horizon.
+
+        A record that was tentatively decided (C) but not yet delivered (E)
+        is head-of-line blocked behind another worker in FLO's round-robin
+        merge — its E is still coming, so it gets four horizons of grace
+        before the bounded-memory escape hatch folds it anyway (losing its
+        A->E latency sample; counted in :attr:`late_deliveries` when the E
+        eventually lands).
+        """
+        horizon = self.horizon_rounds or 0
+        stale = []
+        for key, record in self._blocks.items():
+            lag = (self._newest_round.get(record.worker_id, -1)
+                   - record.round_number)
+            if lag <= horizon:
+                continue
+            if (EVENT_TENTATIVE_DECISION in record.events
+                    and EVENT_FLO_DELIVERY not in record.events
+                    and lag <= stale_fold_grace(horizon)):
+                continue
+            stale.append(key)
+        for key in stale:
+            record = self._blocks.pop(key)
+            worker_id = record.worker_id
+            self._stale_folded_through[worker_id] = max(
+                self._stale_folded_through.get(worker_id, -1),
+                record.round_number)
+            self._fold(record)
+
+    def _fold(self, record: BlockRecord) -> None:
+        """Stream one record into the bounded aggregates and drop it.
+
+        A re-created record (``refold``: its round was already stale-folded
+        once) does not count as a fresh record again; if it carries the late
+        E, that is tracked in :attr:`late_deliveries` — the straggler's
+        tx/count still enter the window, only its A->E sample was lost.
+        """
+        if record.refold:
+            if EVENT_FLO_DELIVERY in record.events:
+                self.late_deliveries += 1
+        else:
+            self.records_folded += 1
+        for event, timestamp in record.events.items():
+            end = self.measure_end if self.measure_end is not None else float("inf")
+            if self.measure_start <= timestamp <= end:
+                self._folded_event_count[event] += 1
+                self._folded_event_tx[event] += record.tx_count
+        for start_event, end_event in _EVENT_PAIRS:
+            span = record.span(start_event, end_event)
+            if span is not None and span >= 0:
+                key = f"{start_event}->{end_event}"
+                self._folded_pair_sums[key] += span
+                self._folded_pair_counts[key] += 1
+        span = record.span(EVENT_BLOCK_PROPOSAL, EVENT_FLO_DELIVERY)
+        if span is not None:
+            if self._folded_latency is None:
+                self._folded_latency = LatencyHistogram()
+            self._folded_latency.add(span)
+
+    @property
+    def latency_histogram(self) -> Optional[LatencyHistogram]:
+        """Folded A→E latency distribution (None unless streaming folded any)."""
+        return self._folded_latency
+
     # -------------------------------------------------------------- summaries
     @property
-    def blocks(self) -> list[BlockRecord]:
-        """All recorded blocks."""
-        return list(self._blocks.values())
+    def blocks(self) -> tuple[BlockRecord, ...]:
+        """All *live* (unfolded) block records."""
+        return tuple(self._blocks.values())
 
     def _window(self, end_time: float) -> float:
         start = self.measure_start
@@ -113,33 +289,58 @@ class MetricsRecorder:
         return self.measure_start <= timestamp <= end
 
     def blocks_with_event(self, event: str, end_time: float) -> list[BlockRecord]:
-        """Blocks whose ``event`` timestamp falls in the measurement window."""
+        """Live records whose ``event`` timestamp falls in the window."""
         return [record for record in self._blocks.values()
                 if event in record.events
                 and self._in_window(record.events[event], end_time)]
 
+    def count_with_event(self, event: str, end_time: float) -> int:
+        """In-window blocks with ``event``, live + folded."""
+        return (len(self.blocks_with_event(event, end_time))
+                + self._folded_event_count.get(event, 0))
+
+    def tx_with_event(self, event: str, end_time: float) -> int:
+        """In-window transaction total at ``event``, live + folded."""
+        live = sum(record.tx_count
+                   for record in self.blocks_with_event(event, end_time))
+        return live + self._folded_event_tx.get(event, 0)
+
     def throughput_tps(self, end_time: float,
                        event: str = EVENT_FLO_DELIVERY) -> float:
         """Transactions per second counted at ``event``."""
-        records = self.blocks_with_event(event, end_time)
-        total_txs = sum(record.tx_count for record in records)
-        return total_txs / self._window(end_time)
+        return self.tx_with_event(event, end_time) / self._window(end_time)
 
     def throughput_bps(self, end_time: float,
                        event: str = EVENT_TENTATIVE_DECISION) -> float:
         """Blocks per second counted at ``event``."""
-        records = self.blocks_with_event(event, end_time)
-        return len(records) / self._window(end_time)
+        return self.count_with_event(event, end_time) / self._window(end_time)
 
     def recoveries_per_second(self, end_time: float) -> float:
-        """Recovery invocations per second."""
+        """Recovery invocations per second.
+
+        Exact while every recovery timestamp is still in the bounded recent
+        list; past that, the count accumulated incrementally against the
+        measurement window at record time is used (identical whenever the
+        window was set before the run, which ``set_measurement_window``
+        guarantees).
+        """
         window = self._window(end_time)
-        in_window = [t for t in self.recoveries if self._in_window(t, end_time)]
-        return len(in_window) / window
+        log = self.recoveries
+        if log.count <= len(log.recent):
+            end = self.measure_end if self.measure_end is not None else end_time
+            in_window = sum(1 for t in log.recent
+                            if self.measure_start <= t <= end)
+        else:
+            in_window = self._recoveries_in_window
+        return in_window / window
 
     def latency_samples(self, start_event: str = EVENT_BLOCK_PROPOSAL,
                         end_event: str = EVENT_FLO_DELIVERY) -> list[float]:
-        """Per-block latencies between two events."""
+        """Per-block latencies between two events (live records only).
+
+        In streaming mode the folded share of the distribution lives in
+        :attr:`latency_histogram`; combine both for a full summary.
+        """
         samples = []
         for record in self._blocks.values():
             span = record.span(start_event, end_event)
@@ -149,11 +350,10 @@ class MetricsRecorder:
 
     def breakdown(self) -> dict[str, float]:
         """Mean time between consecutive events (the Figure 9 heatmap rows)."""
-        pairs = list(zip(BLOCK_EVENTS[:-1], BLOCK_EVENTS[1:]))
-        sums: dict[str, float] = defaultdict(float)
-        counts: dict[str, int] = defaultdict(int)
+        sums: dict[str, float] = defaultdict(float, self._folded_pair_sums)
+        counts: dict[str, int] = defaultdict(int, self._folded_pair_counts)
         for record in self._blocks.values():
-            for start_event, end_event in pairs:
+            for start_event, end_event in _EVENT_PAIRS:
                 span = record.span(start_event, end_event)
                 if span is not None and span >= 0:
                     key = f"{start_event}->{end_event}"

@@ -270,6 +270,12 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
             f"- **Topology:** {summary['topology']}",
             f"- **Workload:** {summary['workload']}",
             f"- **Faults:** {summary['faults']}",
+        ]
+        if "retention" in summary:
+            lines.append(f"- **Retention:** {summary['retention']}")
+        if "pool" in summary:
+            lines.append(f"- **Pool:** {summary['pool']}")
+        lines += [
             f"- **Run:** {scenario.duration:g}s simulated "
             f"({scenario.warmup:g}s warmup), defaults n={scenario.n_nodes}, "
             f"workers={scenario.workers}, batch={scenario.batch_size}",
@@ -356,6 +362,11 @@ def render_experiments_md(results: Mapping[str, Sequence[Mapping]]) -> str:
         "itself (wall-clock, host-dependent) — its committed",
         "`pre-pr-baseline` rows pin the cost before the broadcast fan-out /",
         "pooled-timer optimisations, and `current` rows record the speedup.",
+        "`memfootprint` likewise measures the host side: it contrasts live",
+        "blocks/records and peak memory with the bounded-memory retention",
+        "policy off vs on — flat in run length when on, linear when off, at",
+        "identical throughput (see \"Memory model & retention\" in",
+        "ARCHITECTURE.md).",
         "",
     ]
     lines += _scenario_preamble()

@@ -63,6 +63,10 @@ class NodeMetrics:
     bps: float = 0.0
     recoveries_per_second: float = 0.0
     latency_samples: list[float] = field(default_factory=list)
+    #: Folded share of the latency distribution when the node's recorder ran
+    #: in streaming (bounded-memory) mode; merged with every node's raw
+    #: samples into one histogram-backed cluster summary.
+    latency_histogram: Optional[object] = None
     stage_breakdown: dict[str, float] = field(default_factory=dict)
     totals: dict[str, float] = field(default_factory=dict)
     means: dict[str, float] = field(default_factory=dict)
@@ -127,13 +131,22 @@ class SharedTxPool:
     closed-loop / bursty scenario workloads drive all protocols comparably.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_pending: Optional[int] = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        self.max_pending = max_pending
         self.pending = 0
         self.submitted = 0
+        self.rejected = 0
 
-    def submit(self) -> None:
+    def submit(self) -> bool:
+        """Queue one transaction; returns False (and counts) when full."""
+        if self.max_pending is not None and self.pending >= self.max_pending:
+            self.rejected += 1
+            return False
         self.pending += 1
         self.submitted += 1
+        return True
 
     def take(self, max_count: int) -> int:
         """Drain up to ``max_count`` pending transactions; returns the count."""
@@ -155,14 +168,20 @@ def committed_node_metrics(node, duration: float,
     committed = [record for record in node.committed
                  if record.committed_at >= node.measure_start]
     transactions = sum(record.tx_count for record in committed)
+    means = {"blocks_committed": len(committed),
+             "transactions_committed": transactions}
+    pool = getattr(node, "pool", None)
+    if pool is not None and getattr(pool, "max_pending", None) is not None:
+        # The pool is cluster-wide shared state: every replica reports the
+        # same figure, so it averages (not sums) across correct nodes.
+        means["tx_rejected"] = pool.rejected
     return NodeMetrics(
         tps=transactions / window,
         bps=len(committed) / window,
         latency_samples=[record.committed_at - record.proposed_at
                          for record in committed],
         totals=dict(totals or {}),
-        means={"blocks_committed": len(committed),
-               "transactions_committed": transactions},
+        means=means,
     )
 
 

@@ -32,7 +32,7 @@ class BFTSmartProtocol(ConsensusProtocol):
     def build_nodes(self, env, network, keystore, config, rng,
                     byzantine_nodes: frozenset[int] = frozenset()) -> list[BFTSmartReplica]:
         cost = CryptoCostModel(config.machine)
-        pool = SharedTxPool()
+        pool = SharedTxPool(max_pending=config.pool_max_pending)
         return [
             BFTSmartReplica(env, network, node_id, keystore, config.f,
                             config.batch_size, config.tx_size, cost,

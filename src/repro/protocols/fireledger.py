@@ -48,26 +48,33 @@ class FireLedgerProtocol(ConsensusProtocol):
 
     def node_metrics(self, node: FLONode, duration: float) -> NodeMetrics:
         recorder = node.recorder
-        decided = recorder.blocks_with_event(EVENT_TENTATIVE_DECISION, duration)
-        delivered = recorder.blocks_with_event(EVENT_FLO_DELIVERY, duration)
+        totals = {
+            "fast_path_rounds": recorder.fast_path_rounds,
+            "fallback_rounds": recorder.fallback_rounds,
+            "failed_rounds": recorder.failed_rounds,
+            "recoveries": len(recorder.recoveries),
+            "signatures": sum(worker.signatures_created
+                              for worker in node.workers),
+        }
+        rejected = sum(worker.txpool.rejected for worker in node.workers)
+        requeue_dropped = sum(worker.txpool.requeue_dropped
+                              for worker in node.workers)
+        if node.config.pool_max_pending is not None:
+            totals["tx_rejected"] = rejected
+            totals["tx_requeue_dropped"] = requeue_dropped
         return NodeMetrics(
             tps=recorder.throughput_tps(duration, event=EVENT_FLO_DELIVERY),
             bps=recorder.throughput_bps(duration, event=EVENT_TENTATIVE_DECISION),
             recoveries_per_second=recorder.recoveries_per_second(duration),
             latency_samples=recorder.latency_samples(
                 EVENT_BLOCK_PROPOSAL, EVENT_FLO_DELIVERY),
+            latency_histogram=recorder.latency_histogram,
             stage_breakdown=recorder.breakdown(),
-            totals={
-                "fast_path_rounds": recorder.fast_path_rounds,
-                "fallback_rounds": recorder.fallback_rounds,
-                "failed_rounds": recorder.failed_rounds,
-                "recoveries": len(recorder.recoveries),
-                "signatures": sum(worker.signatures_created
-                                  for worker in node.workers),
-            },
+            totals=totals,
             means={
-                "blocks_committed": len(decided),
-                "transactions_committed": sum(record.tx_count
-                                              for record in delivered),
+                "blocks_committed": recorder.count_with_event(
+                    EVENT_TENTATIVE_DECISION, duration),
+                "transactions_committed": recorder.tx_with_event(
+                    EVENT_FLO_DELIVERY, duration),
             },
         )

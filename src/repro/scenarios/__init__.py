@@ -22,7 +22,9 @@ from repro.scenarios.faultplan import (
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import (
     LinkSpec,
+    PoolSpec,
     RegionSpec,
+    RetentionSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -35,6 +37,8 @@ __all__ = [
     "RegionSpec",
     "LinkSpec",
     "WorkloadSpec",
+    "RetentionSpec",
+    "PoolSpec",
     "FaultSchedule",
     "FaultPhase",
     "crash",

@@ -18,7 +18,9 @@ if TYPE_CHECKING:  # runtime import would cycle through the registry
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import (
     LinkSpec,
+    PoolSpec,
     RegionSpec,
+    RetentionSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -122,6 +124,22 @@ _add(ScenarioSpec(
         faultplan.recover(2, at=1.10),
         faultplan.crash(1, at=1.30),
     )),
+))
+
+_add(ScenarioSpec(
+    name="soak",
+    description="Long-horizon bounded-memory soak: a LAN cluster under "
+                "bursty overload (16x spikes) with chain pruning, streamed "
+                "metrics and a capped transaction pool, so live state stays "
+                "O(retention window) for the whole run.",
+    n_nodes=4, workers=2, batch_size=25, tx_size=512,
+    duration=5.0, warmup=0.5,
+    topology=TopologySpec(kind="lan"),
+    workload=WorkloadSpec(shape="bursty", n_clients=12,
+                          rate_per_client=250.0, burst_factor=16.0,
+                          burst_period=0.5, burst_duty=0.3),
+    retention=RetentionSpec(chain_rounds=64, metrics_horizon_rounds=64),
+    pool=PoolSpec(max_pending=200),
 ))
 
 _add(ScenarioSpec(

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # imported lazily at run time to avoid a registry cycle
 #: Breakdown keys the row already reports through dedicated columns.
 _ROW_COVERED_COUNTERS = frozenset({
     "fast_path_rounds", "fallback_rounds", "failed_rounds", "recoveries",
+    "tx_rejected",
 })
 
 
@@ -59,11 +60,26 @@ def run_scenario(spec: ScenarioSpec,
         spec = spec.with_overrides(**overrides)  # re-validates fault node ids
     seed = scale.seed if seed is None else seed
 
-    config = FireLedgerConfig(
+    config_kwargs = dict(
         n_nodes=spec.n_nodes, workers=spec.workers,
         batch_size=spec.batch_size, tx_size=spec.tx_size,
         fill_blocks=spec.workload.fill_blocks,
-        **dict(spec.config_overrides))
+        retention_rounds=spec.retention.chain_rounds,
+        metrics_horizon_rounds=spec.retention.metrics_horizon_rounds,
+        pool_max_pending=spec.pool.max_pending)
+    config_overrides = dict(spec.config_overrides)
+    # An override shadowing a first-class spec field would desynchronise the
+    # actual run from the recorded row / sweep axes; the memory knobs are the
+    # exception (config_overrides may retune what retention/pool set).
+    clash = sorted(set(config_overrides)
+                   & {"n_nodes", "workers", "batch_size", "tx_size",
+                      "fill_blocks"})
+    if clash:
+        raise ValueError(
+            f"config_overrides may not shadow first-class scenario fields "
+            f"{clash}; set them on the spec itself")
+    config_kwargs.update(config_overrides)
+    config = FireLedgerConfig(**config_kwargs)
 
     schedule = spec.faults
     workload_box: list = []
@@ -119,6 +135,20 @@ def run_scenario(spec: ScenarioSpec,
                 continue
             row[key] = round(value, 2)
     row["msgs_dropped"] = result.network.messages_dropped
+    if "tx_rejected" in result.breakdown:
+        row["tx_rejected"] = result.transactions_rejected
+    if spec.retention.bounded and spec.protocol == "fireledger":
+        # Live-state watermarks for the soak/memfootprint accounting: the
+        # largest per-worker live chain and per-node live record counts at
+        # run end, which the retention window must bound.
+        row["live_blocks"] = max(
+            (len(worker.chain) for node in result.nodes
+             for worker in node.workers), default=0)
+        row["live_records"] = max(
+            (node.recorder.live_records for node in result.nodes), default=0)
+        row["pruned_blocks"] = max(
+            (worker.chain.summary.blocks for node in result.nodes
+             for worker in node.workers), default=0)
     if workload_box:
         workload = workload_box[0]
         row["submitted_tx"] = workload.total_submitted

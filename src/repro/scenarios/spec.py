@@ -307,6 +307,84 @@ class WorkloadSpec:
         return base
 
 
+# ----------------------------------------------------------------- retention
+@dataclass(frozen=True)
+class RetentionSpec:
+    """Memory-bounding knobs for long-horizon (soak) runs.
+
+    * ``chain_rounds`` — rounds of definite chain each worker keeps; older
+      blocks fold into a running
+      :class:`~repro.ledger.chain.ChainSummary` and are dropped.
+    * ``metrics_horizon_rounds`` — rounds after which an undelivered metrics
+      record is folded into the recorder's streaming aggregates (delivered
+      records fold immediately).
+
+    Both default to ``None`` — keep everything, the paper's exact-metrics
+    behaviour.  Setting either makes per-node state O(window) instead of
+    O(run length).
+    """
+
+    chain_rounds: Optional[int] = None
+    metrics_horizon_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chain_rounds is not None and self.chain_rounds < 1:
+            raise ValueError("chain_rounds must be >= 1 (or None)")
+        if (self.metrics_horizon_rounds is not None
+                and self.metrics_horizon_rounds < 0):
+            raise ValueError("metrics_horizon_rounds must be >= 0 (or None)")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RetentionSpec":
+        _check_unknown(data, cls)
+        return cls(**data)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any memory bound is active."""
+        return (self.chain_rounds is not None
+                or self.metrics_horizon_rounds is not None)
+
+    def summary(self) -> str:
+        if not self.bounded:
+            return "unbounded (keep everything)"
+        parts = []
+        if self.chain_rounds is not None:
+            parts.append(f"chain pruned to {self.chain_rounds} round(s)")
+        if self.metrics_horizon_rounds is not None:
+            parts.append(f"metrics streamed past "
+                         f"{self.metrics_horizon_rounds} round(s)")
+        return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------- pool
+@dataclass(frozen=True)
+class PoolSpec:
+    """Transaction-pool admission knobs.
+
+    ``max_pending`` caps the pending backlog (per worker for FireLedger, for
+    the whole shared pool of a leader-driven baseline); submissions beyond it
+    are rejected and counted (``tx_rejected`` in the result breakdown).
+    ``None`` keeps the pool unbounded.
+    """
+
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PoolSpec":
+        _check_unknown(data, cls)
+        return cls(**data)
+
+    def summary(self) -> str:
+        if self.max_pending is None:
+            return "unbounded"
+        return f"max {self.max_pending} pending"
+
+
 # ------------------------------------------------------------------ scenario
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -330,6 +408,10 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Memory bounds for long-horizon runs (chain pruning, streamed metrics).
+    retention: RetentionSpec = field(default_factory=RetentionSpec)
+    #: Transaction-pool admission control (backlog cap + rejection counting).
+    pool: PoolSpec = field(default_factory=PoolSpec)
     #: Extra ``FireLedgerConfig`` fields, e.g. ``(("permute_every", 16),)``.
     config_overrides: tuple[tuple[str, Any], ...] = ()
 
@@ -357,6 +439,10 @@ class ScenarioSpec:
             kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
         if "workload" in kwargs and not isinstance(kwargs["workload"], WorkloadSpec):
             kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "retention" in kwargs and not isinstance(kwargs["retention"], RetentionSpec):
+            kwargs["retention"] = RetentionSpec.from_dict(kwargs["retention"])
+        if "pool" in kwargs and not isinstance(kwargs["pool"], PoolSpec):
+            kwargs["pool"] = PoolSpec.from_dict(kwargs["pool"])
         faults = kwargs.get("faults")
         if faults is not None and not isinstance(faults, FaultSchedule):
             # Accept both {"phases": [...]} and a bare phase list.
@@ -391,9 +477,14 @@ class ScenarioSpec:
 
     def summary(self) -> dict[str, str]:
         """The scenario dimensions as short strings, for the report renderer."""
-        return {
+        summary = {
             "protocol": self.protocol,
             "topology": self.topology.summary(),
             "workload": self.workload.summary(),
             "faults": self.faults.summary(),
         }
+        if self.retention.bounded:
+            summary["retention"] = self.retention.summary()
+        if self.pool.max_pending is not None:
+            summary["pool"] = self.pool.summary()
+        return summary

@@ -75,6 +75,21 @@ class Event:
         else:
             self.callbacks.append(callback)
 
+    def discard_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Unregister ``callback`` if still pending (no-op otherwise).
+
+        Long-lived events (a worker's wake event, a body-arrival event) are
+        waited on through composite conditions over and over; a condition
+        that fired through a *different* child must deregister itself here,
+        or the pending event's callback list — and every condition object it
+        references — grows for the whole run.
+        """
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(callback)
+            except ValueError:
+                pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self.triggered else "pending"
         return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
@@ -152,12 +167,20 @@ class _Condition(Event):
             return
         if not event.ok:
             self.fail(event.value)
+            self._detach()
             return
         self._finished += 1
         if self._satisfied():
             self.succeed(ConditionValue(
                 {e: e.value for e in self.events if e.triggered and e.ok}
             ))
+            self._detach()
+
+    def _detach(self) -> None:
+        """Deregister from children that have not fired (see discard_callback)."""
+        for event in self.events:
+            if not event.triggered:
+                event.discard_callback(self._child_fired)
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -20,7 +20,6 @@ import random
 from typing import Optional, Sequence, Union
 
 from repro.core.flo import FLONode
-from repro.ledger.transaction import Transaction
 from repro.sim import Environment
 
 
@@ -141,7 +140,10 @@ class OpenLoopClient:
         self.tx_size = tx_size
         self.rng = rng or random.Random(client_id)
         self.weights = _checked_weights(weights, self.nodes)
-        self.submitted: list[Transaction] = []
+        #: Accepted / pool-cap-rejected submission counts.  Counters, not
+        #: transaction lists, so a long soak run's clients stay O(1) memory.
+        self.submitted_count = 0
+        self.rejected_count = 0
 
     @property
     def rate(self) -> float:
@@ -149,13 +151,21 @@ class OpenLoopClient:
         return self.shape.rate(self.env.now)
 
     def run(self):
-        """Submission process: sleep, pick a node, submit."""
+        """Submission process: sleep, pick a node, submit.
+
+        A ``None`` return from ``submit_transaction`` (the node's pool is at
+        its cap) is open-loop behaviour: the request is lost and counted, and
+        the client keeps its arrival schedule.
+        """
         while True:
             yield self.env.timeout(self.rng.expovariate(self.rate))
             node = _pick_node(self.rng, self.nodes, self.weights)
             transaction = node.submit_transaction(
                 size_bytes=self.tx_size, client_id=self.client_id)
-            self.submitted.append(transaction)
+            if transaction is None:
+                self.rejected_count += 1
+            else:
+                self.submitted_count += 1
 
 
 class ClosedLoopClient:
@@ -189,17 +199,28 @@ class ClosedLoopClient:
         self.rng = rng or random.Random(client_id)
         self.poll_interval = poll_interval
         self.weights = _checked_weights(weights, self.nodes)
-        self.submitted: list[Transaction] = []
+        self.submitted_count = 0
+        self.rejected_count = 0
         self.completed = 0
 
     def run(self):
-        """Submit, wait for delivery progress, think, repeat."""
+        """Submit, wait for delivery progress, think, repeat.
+
+        A ``None`` return from ``submit_transaction`` (the node's pool is at
+        its cap) is closed-loop backpressure: the client backs off one poll
+        interval and retries instead of waiting on a delivery that will never
+        include its request.
+        """
         while True:
             node = _pick_node(self.rng, self.nodes, self.weights)
             before = node.delivered_transactions
             transaction = node.submit_transaction(size_bytes=self.tx_size,
                                                   client_id=self.client_id)
-            self.submitted.append(transaction)
+            if transaction is None:
+                self.rejected_count += 1
+                yield self.env.timeout(self.poll_interval)
+                continue
+            self.submitted_count += 1
             while node.delivered_transactions <= before:
                 yield self.env.timeout(self.poll_interval)
             self.completed += 1
@@ -242,8 +263,13 @@ class ClientWorkload:
 
     @property
     def total_submitted(self) -> int:
-        """Transactions submitted so far across all clients."""
-        return sum(len(client.submitted) for client in self.clients)
+        """Transactions submitted (and accepted) so far across all clients."""
+        return sum(client.submitted_count for client in self.clients)
+
+    @property
+    def total_rejected(self) -> int:
+        """Submissions declined by a full pool across all clients."""
+        return sum(getattr(client, "rejected_count", 0) for client in self.clients)
 
     @property
     def total_completed(self) -> int:

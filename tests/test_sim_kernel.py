@@ -244,3 +244,36 @@ def test_resource_release_without_acquire_rejected(env):
 def test_resource_capacity_must_be_positive(env):
     with pytest.raises(ValueError):
         Resource(env, capacity=0)
+
+
+def test_fired_condition_detaches_from_pending_children(env):
+    """A long-lived event must not accumulate callbacks from dead conditions.
+
+    Every wait_message builds an AnyOf over the worker's persistent wake
+    event; before the detach fix each fired condition stayed registered on
+    the never-firing child forever, growing memory linearly with run length.
+    """
+    wake = env.event()  # long-lived, never fires
+
+    def waiter():
+        for _ in range(50):
+            yield env.any_of([env.timeout(0.01), wake])
+
+    env.process(waiter())
+    env.run()
+    assert len(wake.callbacks) == 0
+
+
+def test_condition_detach_preserves_late_child_semantics(env):
+    values = []
+
+    def waiter():
+        fast = env.timeout(0.1, value="fast")
+        slow = env.timeout(1.0, value="slow")
+        result = yield env.any_of([fast, slow])
+        values.append(list(result.values()))
+
+    env.process(waiter())
+    env.run()
+    assert values == [["fast"]]
+    assert env.now == pytest.approx(1.0)  # the slow timeout still fires
