@@ -92,6 +92,9 @@ class BFTSmartReplica(PooledReplicaMixin):
             (lambda message: None) if silent else self.context.inbox.put)
         self.committed: list[_CommittedBatch] = []
         self.leader = 0
+        #: Execution layer (assigned by the protocol adapter when enabled):
+        #: committed batches are applied in sequence order.
+        self.executor = None
         self.instances_timed_out = 0
         self.signatures = 0
         self.measure_start = 0.0
@@ -103,11 +106,12 @@ class BFTSmartReplica(PooledReplicaMixin):
         inflight: dict[int, float] = {}
         while True:
             while len(inflight) < PIPELINE_WINDOW:
-                tx_count = self._next_batch()
+                tx_count, transactions = self._next_batch()
                 yield from self.context.use_cpu(
                     self.cost.block_sign_time(tx_count, self.tx_size))
                 self.signatures += 1
                 payload = {"seq": seq, "tx_count": tx_count,
+                           "transactions": transactions,
                            "proposed_at": self.env.now}
                 self.context.broadcast(PROPOSE, payload,
                                        size_bytes=self._batch_bytes(tx_count),
@@ -159,6 +163,13 @@ class BFTSmartReplica(PooledReplicaMixin):
                 tx_count=proposal.payload["tx_count"],
                 proposed_at=proposal.payload["proposed_at"],
                 committed_at=self.env.now))
+            if self.executor is not None:
+                self.executor.apply_delivery(
+                    tag=("smart", next_seq, proposal.payload["tx_count"]),
+                    transactions=proposal.payload.get("transactions", ()),
+                    tx_count=proposal.payload["tx_count"],
+                    proposer=self.leader,
+                    now=self.env.now)
             next_seq += 1
 
 

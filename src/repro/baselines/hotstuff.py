@@ -91,8 +91,11 @@ class HotStuffReplica(PooledReplicaMixin):
         network.endpoint(node_id).router = (
             (lambda message: None) if silent else self.context.inbox.put)
         self.committed: list[_CommittedBlock] = []
-        self._proposals: dict[int, tuple[float, int]] = {}
+        self._proposals: dict[int, tuple[float, int, tuple]] = {}
         self._seen_proposal_view = -1
+        #: Execution layer (assigned by the protocol adapter when enabled):
+        #: committed batches are applied in commit (view) order.
+        self.executor = None
         self.view = 0
         self.views_timed_out = 0
         self.signatures = 0
@@ -122,11 +125,12 @@ class HotStuffReplica(PooledReplicaMixin):
                     if len(votes) >= quorum:
                         # Aggregate-signature verification of the QC.
                         yield from self.context.use_cpu(self.cost.verify_time(0))
-                tx_count = self._next_batch()
+                tx_count, transactions = self._next_batch()
                 yield from self.context.use_cpu(
                     self.cost.block_sign_time(tx_count, self.tx_size))
                 self.signatures += 1
                 payload = {"view": view, "tx_count": tx_count,
+                           "transactions": transactions,
                            "proposed_at": self.env.now}
                 self.context.broadcast(PROPOSAL, payload,
                                        size_bytes=self._batch_bytes(tx_count),
@@ -150,7 +154,8 @@ class HotStuffReplica(PooledReplicaMixin):
             yield from self.context.use_cpu(self.cost.sign_time(0))
             self.signatures += 1
             self._proposals[view] = (proposal.payload["proposed_at"],
-                                     proposal.payload["tx_count"])
+                                     proposal.payload["tx_count"],
+                                     proposal.payload.get("transactions", ()))
             next_leader = self._leader_of(view + 1)
             self.context.send(next_leader, VOTE, {"view": view}, size_bytes=_VOTE_SIZE)
 
@@ -158,12 +163,19 @@ class HotStuffReplica(PooledReplicaMixin):
             # that finalises the block proposed COMMIT_DEPTH views earlier.
             commit_view = view - COMMIT_DEPTH
             if commit_view in self._proposals:
-                proposed_at, tx_count = self._proposals.pop(commit_view)
+                proposed_at, tx_count, transactions = self._proposals.pop(commit_view)
                 self.committed.append(_CommittedBlock(
                     view=commit_view,
                     tx_count=tx_count,
                     proposed_at=proposed_at,
                     committed_at=self.env.now))
+                if self.executor is not None:
+                    self.executor.apply_delivery(
+                        tag=("hs", commit_view, tx_count),
+                        transactions=transactions,
+                        tx_count=tx_count,
+                        proposer=self._leader_of(commit_view),
+                        now=self.env.now)
             self.view += 1
 
 

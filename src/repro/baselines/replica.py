@@ -25,16 +25,26 @@ class PooledReplicaMixin:
     HEADER_OVERHEAD = 0
 
     def submit_transaction(self, size_bytes: Optional[int] = None,
-                           client_id: int = 0) -> Optional[Transaction]:
+                           client_id: int = 0,
+                           payload_seed: Optional[int] = None,
+                           sender: Optional[int] = None,
+                           recipient: Optional[int] = None,
+                           amount: int = 0,
+                           nonce: int = 0) -> Optional[Transaction]:
         """Client write request, queued on the cluster-wide pending pool.
 
         Returns None when the pool is at its ``max_pending`` cap, mirroring
         FLO's backpressure so capped scenarios drive all protocols alike.
+        The optional transfer fields feed the execution layer when the pool
+        carries transactions (execution-enabled runs).
         """
         transaction = Transaction.create(client_id=client_id,
                                          size_bytes=size_bytes or self.tx_size,
-                                         now=self.env.now)
-        if self.pool is not None and not self.pool.submit():
+                                         now=self.env.now,
+                                         payload_seed=payload_seed,
+                                         sender=sender, recipient=recipient,
+                                         amount=amount, nonce=nonce)
+        if self.pool is not None and not self.pool.submit(transaction):
             return None
         return transaction
 
@@ -46,14 +56,16 @@ class PooledReplicaMixin:
     def delivered_transactions(self) -> int:
         return sum(record.tx_count for record in self.committed)
 
-    def _next_batch(self) -> int:
-        """Transactions in the next proposal: a full batch when saturated,
-        otherwise whatever the client pool has pending (possibly zero — an
-        empty batch keeps the pipeline's cadence observable, exactly like
-        FireLedger's empty blocks)."""
+    def _next_batch(self) -> "tuple[int, tuple]":
+        """``(tx_count, transactions)`` for the next proposal: a full batch
+        of synthetic transactions when saturated, otherwise whatever the
+        client pool has pending (possibly zero — an empty batch keeps the
+        pipeline's cadence observable, exactly like FireLedger's empty
+        blocks).  The transactions tuple is non-empty only when the shared
+        pool carries them (execution-enabled runs)."""
         if self.fill_blocks or self.pool is None:
-            return self.batch_size
-        return self.pool.take(self.batch_size)
+            return self.batch_size, ()
+        return self.pool.take_transactions(self.batch_size)
 
     def _batch_bytes(self, tx_count: int) -> int:
         return tx_count * self.tx_size + self.HEADER_OVERHEAD

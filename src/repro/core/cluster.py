@@ -52,6 +52,13 @@ class ClusterResult:
     network: NetworkStats
     recorders: list = field(default_factory=list, repr=False)
     nodes: list = field(default_factory=list, repr=False)
+    #: Execution-layer oracle (``config.execute_transactions``): the account
+    #: state root at the longest common delivered prefix, asserted identical
+    #: across all non-Byzantine nodes before the result is built.  None when
+    #: execution is disabled.
+    state_root: Optional[str] = None
+    #: Deliveries covered by the agreed ``state_root``.
+    state_deliveries: int = 0
 
     @property
     def tps(self) -> float:
@@ -105,6 +112,21 @@ class ClusterResult:
     def transactions_committed(self) -> int:
         """Transactions committed in the measured window (per correct node)."""
         return self._counter("transactions_committed")
+
+    @property
+    def transactions_applied(self) -> int:
+        """Transfers applied by the execution layer (0 when disabled)."""
+        return self._counter("tx_applied")
+
+    @property
+    def transactions_stale(self) -> int:
+        """Transfers rejected as stale/duplicate nonces (execution layer)."""
+        return self._counter("tx_stale")
+
+    @property
+    def transactions_invalid(self) -> int:
+        """Transfers rejected for insufficient balance (execution layer)."""
+        return self._counter("tx_invalid")
 
 
 def run_cluster(config: FireLedgerConfig,
@@ -182,9 +204,8 @@ def run_cluster(config: FireLedgerConfig,
     excluded |= byzantine
     if excluded_nodes is not None:
         excluded |= set(excluded_nodes)
-    correct_nodes = [node for node in nodes if node.node_id not in excluded]
-    if not correct_nodes:
-        correct_nodes = nodes
+    honest_nodes = [node for node in nodes if node.node_id not in excluded]
+    correct_nodes = honest_nodes or nodes
 
     per_node_tps: list[float] = []
     per_node_bps: list[float] = []
@@ -236,6 +257,30 @@ def run_cluster(config: FireLedgerConfig,
     breakdown.update({key: mean_totals[key] / mean_counts[key]
                       for key in mean_totals})
 
+    # Execution-layer oracle: every honest node must have executed the common
+    # delivered prefix to the same state root (raises StateDivergenceError
+    # otherwise).  Byzantine nodes are left out — their executors may follow
+    # an equivocating chain.
+    state_root: Optional[str] = None
+    state_deliveries = 0
+    if config.execute_transactions:
+        from repro.ledger.state import verify_state_agreement
+
+        executors = [executor for executor in
+                     (impl.executor_of(node) for node in honest_nodes)
+                     if executor is not None]
+        if executors:
+            state_deliveries, state_root = verify_state_agreement(executors)
+            # Counters / fairness come from the most-advanced executor (the
+            # node that delivered furthest); on a fault-free run they are
+            # identical everywhere.
+            reporter = max(executors, key=lambda executor: executor.deliveries)
+            breakdown["tx_applied"] = float(reporter.state.applied)
+            breakdown["tx_stale"] = float(reporter.state.stale)
+            breakdown["tx_invalid"] = float(reporter.state.invalid)
+            breakdown["tx_conflicts"] = float(reporter.conflicts)
+            breakdown.update(reporter.fairness())
+
     recorders = [recorder for recorder in
                  (impl.recorder_of(node) for node in nodes)
                  if recorder is not None]
@@ -252,6 +297,8 @@ def run_cluster(config: FireLedgerConfig,
         network=network.stats,
         recorders=recorders,
         nodes=nodes,
+        state_root=state_root,
+        state_deliveries=state_deliveries,
     )
 
 

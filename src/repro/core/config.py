@@ -68,6 +68,16 @@ class FireLedgerConfig:
     #: Saturated-load mode: top up every block with synthetic transactions.
     fill_blocks: bool = True
 
+    # --- execution layer (account state machine at delivery) ----------------
+    #: Apply delivered transactions to a per-node account state machine and
+    #: maintain the rolling ``state_root`` oracle.  Off by default: opaque
+    #: payloads remain the fast path of the throughput benchmarks.
+    execute_transactions: bool = False
+    #: Size of the account space of the execution state machine.
+    execution_accounts: int = 64
+    #: Genesis balance of every account.
+    execution_initial_balance: int = 100_000
+
     # --- memory / retention (long-horizon "soak" runs) ----------------------
     #: Rounds of definite chain each worker retains; older blocks fold into a
     #: running ChainSummary and are dropped.  None = keep everything (the
@@ -102,6 +112,10 @@ class FireLedgerConfig:
             raise ValueError("metrics_horizon_rounds must be >= 0 (or None)")
         if self.pool_max_pending is not None and self.pool_max_pending < 1:
             raise ValueError("pool_max_pending must be >= 1 (or None)")
+        if self.execution_accounts < 1:
+            raise ValueError("execution_accounts must be >= 1")
+        if self.execution_initial_balance < 0:
+            raise ValueError("execution_initial_balance must be >= 0")
 
     @property
     def finality_depth(self) -> int:

@@ -17,6 +17,7 @@ from repro.core.config import FireLedgerConfig
 from repro.core.fireledger import FireLedgerWorker
 from repro.crypto.keys import KeyStore
 from repro.ledger.block import Block
+from repro.ledger.state import LedgerExecutor
 from repro.ledger.transaction import Transaction
 from repro.metrics.recorder import EVENT_FLO_DELIVERY, MetricsRecorder
 from repro.net.message import Message
@@ -63,6 +64,11 @@ class FLONode:
         self.delivered_blocks = 0
         self.delivered_transactions = 0
         self.submitted_transactions = 0
+        #: Execution layer: delivered blocks are applied to the account state
+        #: machine in release order (None when execution is disabled).  The
+        #: round-robin merge delivers strictly before the chain may prune, so
+        #: every block executes exactly once and pruning never re-executes.
+        self.executor = LedgerExecutor.from_config(config)
 
     # ------------------------------------------------------------------ wiring
     def _route(self, message: Message) -> None:
@@ -87,16 +93,24 @@ class FLONode:
 
     # ----------------------------------------------------------------- client
     def submit_transaction(self, size_bytes: Optional[int] = None,
-                           client_id: int = 0) -> Optional[Transaction]:
+                           client_id: int = 0,
+                           payload_seed: Optional[int] = None,
+                           sender: Optional[int] = None,
+                           recipient: Optional[int] = None,
+                           amount: int = 0,
+                           nonce: int = 0) -> Optional[Transaction]:
         """Client write request: routed to the least-loaded worker.
 
         Returns None when every worker pool is at its ``pool_max_pending``
         cap — backpressure the client observes (and the cluster counts).
+        The optional transfer fields give the payload meaning for the
+        execution layer; without them it stays an opaque blob.
         """
         transaction = Transaction.create(
             client_id=client_id,
             size_bytes=size_bytes or self.config.tx_size,
-            now=self.env.now)
+            now=self.env.now, payload_seed=payload_seed,
+            sender=sender, recipient=recipient, amount=amount, nonce=nonce)
         target = min(self.workers, key=lambda worker: worker.txpool.pending)
         if not target.txpool.submit(transaction):
             return None  # counted by the pool (see rejected_transactions)
@@ -123,6 +137,15 @@ class FLONode:
                                                tx_count=block.tx_count)
                     self.delivered_blocks += 1
                     self.delivered_transactions += block.tx_count
+                    if self.executor is not None:
+                        # Apply before mark_released: execution must precede
+                        # the pruning this release unlocks.
+                        self.executor.apply_delivery(
+                            tag=block.digest,
+                            transactions=block.batch.transactions,
+                            tx_count=block.tx_count,
+                            proposer=block.proposer,
+                            now=self.env.now)
                 worker.chain.mark_released(round_number)
                 self._next_round[self._delivery_cursor] = round_number + 1
                 self._delivery_cursor = (self._delivery_cursor + 1) % len(workers)

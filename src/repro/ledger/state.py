@@ -1,0 +1,272 @@
+"""Account state machine executed at block delivery.
+
+Transactions carried only opaque byte payloads until now: the repro measured
+*ordering* but never *meaning*.  This module gives delivered transactions
+semantics — an account machine with balances and per-sender nonces — plus the
+cross-node correctness oracle the test suite was missing: a rolling
+``state_root`` digest that must agree across every honest node of a cluster,
+for every protocol, at every common point of the delivered sequence.
+
+Design constraints, in order:
+
+* **Determinism.**  The root is a pure fold over (delivery tag, per-transaction
+  outcomes), so any two nodes that delivered the same block sequence hold the
+  same root, regardless of wall-clock, retention settings or protocol.
+* **Composes with chain pruning (PR 5).**  Execution happens exactly once, at
+  delivery — FireLedger releases a round to clients strictly before the chain
+  is allowed to prune it (``released_through`` gating), so a pruned block is
+  never re-executed and the root never depends on what is still live.  The
+  executor itself keeps only O(accounts + history window) state.
+* **Relaxed nonce rule.**  A cluster routes one client's writes to different
+  nodes' pools, so commit order across a client's own transactions is not
+  sequential.  Requiring ``nonce == expected`` would deadlock honest
+  workloads; instead a transfer is *stale* only when ``nonce < expected``
+  (a replay / duplicate), and any ``nonce >= expected`` applies and advances
+  ``expected`` to ``nonce + 1``.  A duplicate is therefore rejected exactly
+  once — the property tests pin this down.
+
+Fairness accounting rides along at the same hook: per-sender commit-latency
+histograms (FairLedger's motivation — throughput-optimal protocols can starve
+individual senders) and per-proposer delivered-transaction counts (proposer
+bias: 1.0 for a perfectly fair rotation, ``n`` for a single static leader).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+from repro.crypto.hashing import hash_fields
+from repro.metrics.summary import LatencyHistogram
+
+#: Per-transaction outcomes of :meth:`LedgerState.apply_transaction`.
+APPLIED = "applied"
+STALE = "stale"
+INVALID = "invalid"
+OPAQUE = "opaque"
+
+#: Deliveries of (index, tag, root) history an executor retains for the
+#: cross-node common-prefix comparison.  Nodes frozen by a crash fall behind
+#: the live ones by at most a run's worth of deliveries; 8192 covers every
+#: shipped scenario with two orders of magnitude to spare while keeping a
+#: soak run's executors well under a megabyte each.
+HISTORY_LIMIT = 8192
+
+
+class StateDivergenceError(RuntimeError):
+    """Two honest nodes executed the same delivered prefix to different roots."""
+
+
+class LedgerState:
+    """Balances and per-sender nonces over a fixed account space.
+
+    Accounts are dense integers ``0 .. n_accounts-1``; storage is sparse
+    (only touched accounts take memory) with ``initial_balance`` / nonce 0
+    as the implicit genesis value.
+    """
+
+    def __init__(self, n_accounts: int, initial_balance: int) -> None:
+        if n_accounts < 1:
+            raise ValueError("n_accounts must be >= 1")
+        if initial_balance < 0:
+            raise ValueError("initial_balance must be non-negative")
+        self.n_accounts = n_accounts
+        self.initial_balance = initial_balance
+        self._balances: dict[int, int] = {}
+        self._nonces: dict[int, int] = {}
+        self.applied = 0
+        self.stale = 0
+        self.invalid = 0
+        self.opaque = 0
+
+    def balance_of(self, account: int) -> int:
+        return self._balances.get(account, self.initial_balance)
+
+    def nonce_of(self, account: int) -> int:
+        """The next nonce this sender is expected to use (floor, see below)."""
+        return self._nonces.get(account, 0)
+
+    def apply_transaction(self, transaction) -> str:
+        """Apply one delivered transaction; returns its outcome.
+
+        * ``opaque`` — no transfer fields (saturated-mode payloads);
+        * ``stale`` — ``nonce < expected``: a replay or duplicate, rejected;
+        * ``invalid`` — fresh nonce but insufficient balance; the nonce is
+          still consumed (the sender "paid for" the failed attempt), which
+          keeps the outcome independent of any later balance changes;
+        * ``applied`` — balance moved, nonce advanced to ``nonce + 1``.
+        """
+        sender = getattr(transaction, "sender", None)
+        if sender is None:
+            self.opaque += 1
+            return OPAQUE
+        expected = self._nonces.get(sender, 0)
+        if transaction.nonce < expected:
+            self.stale += 1
+            return STALE
+        self._nonces[sender] = transaction.nonce + 1
+        balance = self.balance_of(sender)
+        if transaction.amount > balance:
+            self.invalid += 1
+            return INVALID
+        self._balances[sender] = balance - transaction.amount
+        recipient = transaction.recipient
+        self._balances[recipient] = self.balance_of(recipient) + transaction.amount
+        self.applied += 1
+        return APPLIED
+
+
+class LedgerExecutor:
+    """Applies delivered blocks to a :class:`LedgerState` and folds the root.
+
+    One executor per node; the cluster runner compares the executors of all
+    correct nodes via :func:`verify_state_agreement` after a run.  The
+    delivery *tag* identifies the delivered block protocol-specifically (a
+    FireLedger block digest, a HotStuff view, a BFT-SMaRt sequence number) so
+    the comparison can align the per-node delivery sequences even when a node
+    legitimately skipped a view.
+    """
+
+    def __init__(self, n_accounts: int, initial_balance: int,
+                 n_nodes: int = 0, history_limit: int = HISTORY_LIMIT) -> None:
+        self.state = LedgerState(n_accounts, initial_balance)
+        self.n_nodes = n_nodes
+        self.genesis_root = hash_fields("exec-genesis", n_accounts,
+                                        initial_balance)
+        self.state_root = self.genesis_root
+        self.deliveries = 0
+        self.conflicts = 0
+        #: (tag, root-after) per delivery; bounded, oldest entries dropped.
+        self._history: deque[tuple[object, str]] = deque(maxlen=history_limit)
+        self._sender_latency: dict[int, LatencyHistogram] = {}
+        self._proposer_tx: dict[int, int] = {}
+
+    @classmethod
+    def from_config(cls, config) -> Optional["LedgerExecutor"]:
+        """An executor per the config's execution knobs (None when disabled)."""
+        if not config.execute_transactions:
+            return None
+        return cls(n_accounts=config.execution_accounts,
+                   initial_balance=config.execution_initial_balance,
+                   n_nodes=config.n_nodes)
+
+    # ------------------------------------------------------------- execution
+    def apply_delivery(self, tag: object, transactions: Sequence,
+                       tx_count: Optional[int] = None,
+                       proposer: Optional[int] = None,
+                       now: float = 0.0) -> None:
+        """Execute one delivered block and fold it into the rolling root.
+
+        ``tx_count`` is the block's total (explicit + synthetic filler) so
+        saturated-mode blocks still contribute their size to the root;
+        ``transactions`` are the explicit ones actually executed.
+        """
+        outcomes = []
+        touched: set[int] = set()
+        conflicts = 0
+        for transaction in transactions:
+            outcome = self.state.apply_transaction(transaction)
+            outcomes.append((transaction.digest, outcome))
+            sender = getattr(transaction, "sender", None)
+            if sender is None:
+                continue
+            for account in (sender, transaction.recipient):
+                if account in touched:
+                    conflicts += 1
+                else:
+                    touched.add(account)
+            if outcome == APPLIED:
+                histogram = self._sender_latency.get(sender)
+                if histogram is None:
+                    histogram = self._sender_latency[sender] = LatencyHistogram()
+                histogram.add(now - transaction.submitted_at)
+        self.conflicts += conflicts
+        if proposer is not None:
+            count = len(transactions) if tx_count is None else tx_count
+            self._proposer_tx[proposer] = self._proposer_tx.get(proposer, 0) + count
+        self.state_root = hash_fields("exec", self.state_root, tag,
+                                      tx_count, outcomes)
+        self.deliveries += 1
+        self._history.append((tag, self.state_root))
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def oldest_recorded(self) -> int:
+        """Delivery index (1-based) of the oldest retained history entry."""
+        return self.deliveries - len(self._history) + 1
+
+    def history_slice(self, start: int, end: int) -> list[tuple[object, str]]:
+        """Retained ``(tag, root)`` entries for delivery indices start..end."""
+        offset = start - self.oldest_recorded
+        length = end - start + 1
+        if offset < 0 or length < 0:
+            raise IndexError("requested history outside the retained window")
+        entries = list(self._history)
+        return entries[offset:offset + length]
+
+    def fairness(self) -> dict[str, float]:
+        """Fairness metrics observed at this node (empty when nothing ran).
+
+        * ``proposer_bias`` — the busiest proposer's share of delivered
+          transactions times ``n_nodes``: 1.0 for a perfectly fair rotation,
+          ``n_nodes`` for a single static leader.
+        * ``sender_p50_spread_ms`` / ``sender_p99_spread_ms`` — max minus min
+          of the per-sender commit-latency percentiles: 0 when every sender
+          is served alike, large when some senders are starved.
+        """
+        metrics: dict[str, float] = {}
+        total = sum(self._proposer_tx.values())
+        if total > 0 and self.n_nodes:
+            metrics["proposer_bias"] = (max(self._proposer_tx.values())
+                                        / total * self.n_nodes)
+        histograms = [h for h in self._sender_latency.values() if h.count]
+        if histograms:
+            p50s = [h.percentile(50) for h in histograms]
+            p99s = [h.percentile(99) for h in histograms]
+            metrics["sender_p50_spread_ms"] = (max(p50s) - min(p50s)) * 1000.0
+            metrics["sender_p99_spread_ms"] = (max(p99s) - min(p99s)) * 1000.0
+        return metrics
+
+
+def verify_state_agreement(executors: Iterable[LedgerExecutor]) -> tuple[int, Optional[str]]:
+    """Assert root agreement over the longest common delivered prefix.
+
+    Honest nodes may end a run at different delivery heights (a crashed and
+    recovered node's execution froze early; a replica skipped a view it
+    never saw a proposal for), so the oracle aligns the per-node ``(tag,
+    root)`` histories by delivery index, walks forward while every node
+    delivered the *same* block, and demands identical roots along the way.
+
+    Returns ``(deliveries, root)`` at the last agreed point — ``(0, genesis)``
+    when the common prefix is empty.  Raises :class:`StateDivergenceError`
+    when nodes delivered the same sequence but computed different roots
+    (an execution bug, never expected), or ``(0, None)`` when the bounded
+    histories no longer overlap and nothing can be checked.
+    """
+    live = [executor for executor in executors if executor is not None]
+    if not live:
+        return 0, None
+    genesis = {executor.genesis_root for executor in live}
+    if len(genesis) != 1:
+        raise StateDivergenceError(
+            "executors configured with different account spaces: "
+            f"{sorted(genesis)}")
+    start = max(executor.oldest_recorded for executor in live)
+    end = min(executor.deliveries for executor in live)
+    if end == 0:
+        return 0, genesis.pop()
+    if start > end:
+        return 0, None  # bounded histories drifted apart; nothing to compare
+    slices = [executor.history_slice(start, end) for executor in live]
+    agreed: tuple[int, str] = (0, genesis.pop()) if start == 1 else (0, None)
+    for step, entries in enumerate(zip(*slices)):
+        tags = {tag for tag, _ in entries}
+        if len(tags) != 1:
+            break  # nodes legitimately delivered different blocks from here
+        roots = {root for _, root in entries}
+        if len(roots) != 1:
+            raise StateDivergenceError(
+                f"state roots diverged at delivery {start + step} "
+                f"(tag {next(iter(tags))!r}): {sorted(roots)}")
+        agreed = (start + step, roots.pop())
+    return agreed

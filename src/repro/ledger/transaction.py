@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.crypto.hashing import hash_fields, merkle_root
 
@@ -12,14 +13,24 @@ _tx_counter = itertools.count()
 
 @dataclass(frozen=True)
 class Transaction:
-    """An opaque client request of ``size_bytes`` bytes.
+    """A client request of ``size_bytes`` bytes, opaque or a structured transfer.
 
     The paper's evaluation uses randomly generated transactions whose content
-    is irrelevant to ordering, so the simulation carries only the metadata the
-    protocol needs: a unique id, the submitting client, the payload size and
-    the submission time (for end-to-end latency accounting).  ``payload_digest``
-    stands in for the transaction body; two transactions with the same digest
-    are the same transaction.
+    is irrelevant to ordering, so by default the simulation carries only the
+    metadata the protocol needs: a unique id, the submitting client, the
+    payload size and the submission time (for end-to-end latency accounting).
+    ``payload_digest`` stands in for the transaction body; two transactions
+    with the same digest are the same transaction.
+
+    Workloads that drive the execution layer (:mod:`repro.ledger.state`)
+    additionally set the transfer fields — ``sender`` / ``recipient``
+    account ids, an ``amount`` and the sender's ``nonce`` — which the account
+    machine validates and applies at delivery.  ``sender is None`` marks an
+    opaque (non-transfer) payload.
+
+    ``payload_seed`` makes the digest a function of the submitting workload's
+    seeded RNG instead of the process-global id counter, so per-client
+    transaction streams are reproducible across runs within one process.
     """
 
     tx_id: int
@@ -27,21 +38,46 @@ class Transaction:
     size_bytes: int
     submitted_at: float = 0.0
     payload_digest: str = field(default="")
+    #: Seed drawn from the submitting client's RNG (None = legacy id-derived
+    #: digest, kept for direct Transaction() constructions in tests).
+    payload_seed: Optional[int] = None
+    # --- transfer fields (execution layer; None sender = opaque payload) ---
+    sender: Optional[int] = None
+    recipient: Optional[int] = None
+    amount: int = 0
+    nonce: int = 0
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ValueError("transactions must have positive size")
+        if self.sender is not None:
+            if self.recipient is None:
+                raise ValueError("a transfer needs a recipient")
+            if self.amount < 0 or self.nonce < 0:
+                raise ValueError("transfer amount and nonce must be >= 0")
         if not self.payload_digest:
-            object.__setattr__(
-                self, "payload_digest",
-                hash_fields("tx", self.tx_id, self.client_id, self.size_bytes),
-            )
+            identity = (self.payload_seed if self.payload_seed is not None
+                        else self.tx_id)
+            fields_ = ["tx", identity, self.client_id, self.size_bytes]
+            if self.sender is not None:
+                fields_ += [self.sender, self.recipient, self.amount, self.nonce]
+            object.__setattr__(self, "payload_digest", hash_fields(*fields_))
 
     @classmethod
-    def create(cls, client_id: int, size_bytes: int, now: float = 0.0) -> "Transaction":
+    def create(cls, client_id: int, size_bytes: int, now: float = 0.0,
+               payload_seed: Optional[int] = None,
+               sender: Optional[int] = None, recipient: Optional[int] = None,
+               amount: int = 0, nonce: int = 0) -> "Transaction":
         """Create a transaction with a fresh globally unique id."""
         return cls(tx_id=next(_tx_counter), client_id=client_id,
-                   size_bytes=size_bytes, submitted_at=now)
+                   size_bytes=size_bytes, submitted_at=now,
+                   payload_seed=payload_seed, sender=sender,
+                   recipient=recipient, amount=amount, nonce=nonce)
+
+    @property
+    def is_transfer(self) -> bool:
+        """Whether the execution layer can interpret this payload."""
+        return self.sender is not None
 
     @property
     def digest(self) -> str:

@@ -23,6 +23,14 @@ from repro.experiments.sweep import experiment_from_stem
 
 _EXPECTATION_KEYS = ("expectation",)
 
+#: Execution-layer columns rendered in the dedicated "Fairness & execution"
+#: section instead of every per-experiment table.
+_EXECUTION_COLUMNS = (
+    "state_root", "state_deliveries", "tx_applied", "tx_stale",
+    "tx_invalid", "tx_conflicts", "proposer_bias",
+    "sender_p50_spread_ms", "sender_p99_spread_ms",
+)
+
 # Driver rows echo the swept axes under these column names; a grid param
 # whose value is already visible in the rows is not repeated as a prefix
 # column (e.g. a fig10 sweep's cluster_size duplicating the rows' 'n').
@@ -271,6 +279,8 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
             f"- **Workload:** {summary['workload']}",
             f"- **Faults:** {summary['faults']}",
         ]
+        if "execution" in summary:
+            lines.append(f"- **Execution:** {summary['execution']}")
         if "retention" in summary:
             lines.append(f"- **Retention:** {summary['retention']}")
         if "pool" in summary:
@@ -286,7 +296,7 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
             f"seed(s): {', '.join(str(s) for s in seeds) or '?'}.*")
     lines += [meta, ""]
     expectation = _shared_expectation(rows)
-    exclude = _EXPECTATION_KEYS if expectation else ()
+    exclude = _EXECUTION_COLUMNS + (_EXPECTATION_KEYS if expectation else ())
     if expectation:
         lines += [f"Paper expectation: {expectation}.", ""]
     lines += [markdown_table(rows, table_columns(rows, exclude=exclude)), ""]
@@ -299,6 +309,60 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
             markdown_table(comparison),
             "",
         ]
+    return "\n".join(lines)
+
+
+def fairness_rows(results: Mapping[str, Sequence[Mapping]]) -> list[dict]:
+    """Execution/fairness columns of every row that reports a state root.
+
+    Feeds the dedicated "Fairness & execution" section: one line per
+    (experiment, configuration) with the agreed cross-node ``state_root``,
+    the account-machine outcome counters and the fairness metrics.
+    """
+    out: list[dict] = []
+    for name, records in results.items():
+        for row in merged_rows(records):
+            if "state_root" not in row:
+                continue
+            picked: dict = {"experiment": name}
+            for key in ("protocol", "n", "workers", "workload"):
+                if key in row:
+                    picked[key] = row[key]
+            for key in _EXECUTION_COLUMNS:
+                if key in row:
+                    picked[key] = row[key]
+            out.append(picked)
+    return out
+
+
+def render_fairness_section(results: Mapping[str, Sequence[Mapping]]) -> str:
+    """The cross-experiment "Fairness & execution" section (or '')."""
+    rows = fairness_rows(results)
+    if not rows:
+        return ""
+    lines = [
+        "## Fairness & execution",
+        "",
+        "Scenarios with the execution layer enabled replay every delivered",
+        "transaction through a per-node account state machine and fold the",
+        "outcome into a rolling `state_root`.  The cluster harness asserts",
+        "the root identical across all non-Byzantine nodes at their longest",
+        "common delivered prefix (`state_deliveries` blocks) — a per-run",
+        "state-agreement oracle for all three protocols, with retention on",
+        "or off.  Outcome counters: `tx_applied` (balance moved),",
+        "`tx_stale` (nonce below the account's expected value — e.g. two",
+        "clients sharing a sender), `tx_invalid` (insufficient balance;",
+        "consumes the nonce), `tx_conflicts` (same account touched more",
+        "than once inside one block — read-write contention).  Fairness:",
+        "`sender_p50_spread_ms`/`sender_p99_spread_ms` are the max-min",
+        "spread of per-sender commit-latency percentiles (0 = every sender",
+        "served alike), and `proposer_bias` is the largest per-proposer",
+        "share of delivered transactions scaled by cluster size (1.0 = fair",
+        "rotation, n = one static leader proposes everything).",
+        "",
+        markdown_table(rows),
+        "",
+    ]
     return "\n".join(lines)
 
 
@@ -382,9 +446,14 @@ def render_experiments_md(results: Mapping[str, Sequence[Mapping]]) -> str:
         anchor = (title.lower().replace(" ", "-")
                   .translate(str.maketrans("", "", ",/—–.()")))
         lines.append(f"- [{title}](#{anchor})")
+    fairness = render_fairness_section(results)
+    if fairness:
+        lines.append("- [Fairness & execution](#fairness--execution)")
     lines.append("")
     for name, records in results.items():
         lines.append(render_experiment_section(name, records))
+    if fairness:
+        lines.append(fairness)
     return "\n".join(lines).rstrip() + "\n"
 
 

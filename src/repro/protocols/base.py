@@ -119,6 +119,15 @@ class ConsensusProtocol(abc.ABC):
         """The node's :class:`~repro.metrics.recorder.MetricsRecorder`, if any."""
         return getattr(node, "recorder", None)
 
+    def executor_of(self, node) -> Optional[object]:
+        """The node's :class:`~repro.ledger.state.LedgerExecutor`, if any.
+
+        The cluster runner compares the executors of all correct nodes after
+        a run (the cross-node state-root oracle); None means the node did not
+        execute (execution disabled, or a protocol without the hook).
+        """
+        return getattr(node, "executor", None)
+
 
 class SharedTxPool:
     """Cluster-wide pending pool for leader-driven baseline protocols.
@@ -131,28 +140,48 @@ class SharedTxPool:
     closed-loop / bursty scenario workloads drive all protocols comparably.
     """
 
-    def __init__(self, max_pending: Optional[int] = None) -> None:
+    def __init__(self, max_pending: Optional[int] = None,
+                 carry_transactions: bool = False) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
         self.max_pending = max_pending
         self.pending = 0
         self.submitted = 0
         self.rejected = 0
+        #: Execution-layer mode: keep the actual Transaction objects so the
+        #: leader can ship them in its proposals.  Off by default — the
+        #: throughput benchmarks only need counts.
+        self._transactions = [] if carry_transactions else None
 
-    def submit(self) -> bool:
+    def submit(self, transaction=None) -> bool:
         """Queue one transaction; returns False (and counts) when full."""
         if self.max_pending is not None and self.pending >= self.max_pending:
             self.rejected += 1
             return False
         self.pending += 1
         self.submitted += 1
+        if self._transactions is not None and transaction is not None:
+            self._transactions.append(transaction)
         return True
 
     def take(self, max_count: int) -> int:
         """Drain up to ``max_count`` pending transactions; returns the count."""
+        count, _ = self.take_transactions(max_count)
+        return count
+
+    def take_transactions(self, max_count: int) -> "tuple[int, tuple]":
+        """Drain up to ``max_count``; returns ``(count, transactions)``.
+
+        The transactions tuple is empty unless the pool was built with
+        ``carry_transactions=True`` (execution-enabled runs).
+        """
         taken = min(self.pending, max_count)
         self.pending -= taken
-        return taken
+        if self._transactions is None:
+            return taken, ()
+        batch = tuple(self._transactions[:taken])
+        del self._transactions[:taken]
+        return taken, batch
 
 
 def committed_node_metrics(node, duration: float,

@@ -6,6 +6,7 @@ from typing import Sequence
 
 from repro.baselines.bftsmart import BFTSmartReplica
 from repro.crypto.cost_model import CryptoCostModel
+from repro.ledger.state import LedgerExecutor
 from repro.protocols.base import (
     ConsensusProtocol,
     NodeMetrics,
@@ -32,8 +33,9 @@ class BFTSmartProtocol(ConsensusProtocol):
     def build_nodes(self, env, network, keystore, config, rng,
                     byzantine_nodes: frozenset[int] = frozenset()) -> list[BFTSmartReplica]:
         cost = CryptoCostModel(config.machine)
-        pool = SharedTxPool(max_pending=config.pool_max_pending)
-        return [
+        pool = SharedTxPool(max_pending=config.pool_max_pending,
+                            carry_transactions=config.execute_transactions)
+        replicas = [
             BFTSmartReplica(env, network, node_id, keystore, config.f,
                             config.batch_size, config.tx_size, cost,
                             instance_timeout=self.instance_timeout,
@@ -41,6 +43,9 @@ class BFTSmartProtocol(ConsensusProtocol):
                             silent=node_id in byzantine_nodes)
             for node_id in range(config.n_nodes)
         ]
+        for replica in replicas:
+            replica.executor = LedgerExecutor.from_config(config)
+        return replicas
 
     def start(self, nodes: Sequence[BFTSmartReplica]) -> None:
         for replica in nodes:

@@ -17,6 +17,7 @@ if TYPE_CHECKING:  # runtime import would cycle through the registry
     from repro.experiments.harness import ExperimentScale
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import (
+    ExecutionSpec,
     LinkSpec,
     PoolSpec,
     RegionSpec,
@@ -71,6 +72,7 @@ _add(ScenarioSpec(
     duration=0.6, warmup=0.15,
     topology=TopologySpec(kind="lan"),
     workload=WorkloadSpec(shape="saturated"),
+    execution=ExecutionSpec(enabled=True),
 ))
 
 _add(ScenarioSpec(
@@ -81,6 +83,7 @@ _add(ScenarioSpec(
     duration=1.2, warmup=0.2,
     topology=TopologySpec(kind="paper-geo"),
     workload=WorkloadSpec(shape="saturated"),
+    execution=ExecutionSpec(enabled=True),
 ))
 
 _add(ScenarioSpec(
@@ -93,6 +96,7 @@ _add(ScenarioSpec(
     topology=_geo5_topology(),
     workload=WorkloadSpec(shape="open-loop", n_clients=20,
                           rate_per_client=400.0),
+    execution=ExecutionSpec(enabled=True),
 ))
 
 _add(ScenarioSpec(
@@ -106,6 +110,23 @@ _add(ScenarioSpec(
                           rate_per_client=150.0, burst_factor=12.0,
                           burst_period=0.4, burst_duty=0.25,
                           hotspot_skew=1.2),
+    execution=ExecutionSpec(enabled=True),
+))
+
+_add(ScenarioSpec(
+    name="hotspot-transfers",
+    description="Contended account transfers: more clients than accounts "
+                "(shared senders collide on nonces) and Zipf-skewed "
+                "recipients concentrate writes on a few hot accounts, "
+                "exercising stale rejection, conflicts and the fairness "
+                "metrics.",
+    n_nodes=4, workers=2, batch_size=100, tx_size=512,
+    duration=1.2, warmup=0.2,
+    topology=TopologySpec(kind="lan"),
+    workload=WorkloadSpec(shape="open-loop", n_clients=24,
+                          rate_per_client=300.0),
+    execution=ExecutionSpec(enabled=True, n_accounts=8,
+                            recipient_skew=1.5),
 ))
 
 _add(ScenarioSpec(
@@ -117,6 +138,7 @@ _add(ScenarioSpec(
     duration=1.6, warmup=0.15,
     topology=TopologySpec(kind="lan"),
     workload=WorkloadSpec(shape="saturated"),
+    execution=ExecutionSpec(enabled=True),
     faults=faultplan.FaultSchedule(phases=(
         faultplan.crash(3, at=0.30),
         faultplan.recover(3, at=0.60),
@@ -138,6 +160,9 @@ _add(ScenarioSpec(
     workload=WorkloadSpec(shape="bursty", n_clients=12,
                           rate_per_client=250.0, burst_factor=16.0,
                           burst_period=0.5, burst_duty=0.3),
+    # Fewer accounts than clients: shared senders create the stale-nonce
+    # traffic the soak fairness section reports.
+    execution=ExecutionSpec(enabled=True, n_accounts=8),
     retention=RetentionSpec(chain_rounds=64, metrics_horizon_rounds=64),
     pool=PoolSpec(max_pending=200),
 ))
@@ -150,6 +175,7 @@ _add(ScenarioSpec(
     duration=1.0, warmup=0.2,
     topology=TopologySpec(kind="lan"),
     workload=WorkloadSpec(shape="saturated"),
+    execution=ExecutionSpec(enabled=True),
     faults=faultplan.FaultSchedule(phases=(
         faultplan.byzantine((5, 6)),
         faultplan.loss(0.05, start=0.4, end=0.8),

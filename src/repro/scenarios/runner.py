@@ -29,6 +29,12 @@ _ROW_COVERED_COUNTERS = frozenset({
     "tx_rejected",
 })
 
+#: Execution-layer counters, reported through the dedicated block below
+#: (same columns for every protocol) rather than the generic breakdown loop.
+_EXECUTION_COUNTERS = ("tx_applied", "tx_stale", "tx_invalid", "tx_conflicts")
+_FAIRNESS_METRICS = ("proposer_bias", "sender_p50_spread_ms",
+                     "sender_p99_spread_ms")
+
 
 def run_scenario(spec: ScenarioSpec,
                  scale: "Optional[ExperimentScale]" = None,
@@ -64,6 +70,9 @@ def run_scenario(spec: ScenarioSpec,
         n_nodes=spec.n_nodes, workers=spec.workers,
         batch_size=spec.batch_size, tx_size=spec.tx_size,
         fill_blocks=spec.workload.fill_blocks,
+        execute_transactions=spec.execution.enabled,
+        execution_accounts=spec.execution.n_accounts,
+        execution_initial_balance=spec.execution.initial_balance,
         retention_rounds=spec.retention.chain_rounds,
         metrics_horizon_rounds=spec.retention.metrics_horizon_rounds,
         pool_max_pending=spec.pool.max_pending)
@@ -73,7 +82,7 @@ def run_scenario(spec: ScenarioSpec,
     # exception (config_overrides may retune what retention/pool set).
     clash = sorted(set(config_overrides)
                    & {"n_nodes", "workers", "batch_size", "tx_size",
-                      "fill_blocks"})
+                      "fill_blocks", "execute_transactions"})
     if clash:
         raise ValueError(
             f"config_overrides may not shadow first-class scenario fields "
@@ -91,7 +100,8 @@ def run_scenario(spec: ScenarioSpec,
         # closed-loop client's delivered_transactions counter.
         byzantine = schedule.byzantine_nodes
         targets = [node for node in nodes if node.node_id not in byzantine]
-        workload = spec.workload.build(env, targets or nodes, seed=seed)
+        workload = spec.workload.build(env, targets or nodes, seed=seed,
+                                       execution=spec.execution)
         if workload is not None:
             workload_box.append(workload)
 
@@ -131,10 +141,22 @@ def run_scenario(spec: ScenarioSpec,
         # Other protocols report their own counters (skipped views, committed
         # blocks...) straight from the unified breakdown.
         for key, value in sorted(result.breakdown.items()):
-            if "->" in key or key in _ROW_COVERED_COUNTERS:
+            if ("->" in key or key in _ROW_COVERED_COUNTERS
+                    or key in _EXECUTION_COUNTERS or key in _FAIRNESS_METRICS):
                 continue
             row[key] = round(value, 2)
     row["msgs_dropped"] = result.network.messages_dropped
+    if spec.execution.enabled:
+        # The agreed common-prefix root (the oracle already raised if any two
+        # honest nodes disagreed) plus the execution / fairness counters.
+        row["state_root"] = (result.state_root or "")[:12]
+        row["state_deliveries"] = result.state_deliveries
+        for key in _EXECUTION_COUNTERS:
+            if key in result.breakdown:
+                row[key] = int(result.breakdown[key])
+        for key in _FAIRNESS_METRICS:
+            if key in result.breakdown:
+                row[key] = round(result.breakdown[key], 3)
     if "tx_rejected" in result.breakdown:
         row["tx_rejected"] = result.transactions_rejected
     if spec.retention.bounded and spec.protocol == "fireledger":

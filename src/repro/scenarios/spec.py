@@ -37,6 +37,7 @@ from repro.workload.clients import (
     ConstantRate,
     OpenLoopClient,
     RampRate,
+    TransferModel,
     hotspot_weights,
 )
 
@@ -263,8 +264,13 @@ class WorkloadSpec:
                             ramp_time=self.ramp_time)
         return ConstantRate(self.rate_per_client)
 
-    def build(self, env, nodes, seed: int = 0) -> Optional[ClientWorkload]:
-        """Attach this workload's client population (None when saturated)."""
+    def build(self, env, nodes, seed: int = 0,
+              execution: "Optional[ExecutionSpec]" = None) -> Optional[ClientWorkload]:
+        """Attach this workload's client population (None when saturated).
+
+        With an enabled ``execution`` spec the clients emit structured
+        transfers (seeded per client) instead of opaque payloads.
+        """
         if self.shape == "saturated":
             return None
         import random
@@ -275,14 +281,20 @@ class WorkloadSpec:
         clients = []
         for client_id in range(self.n_clients):
             client_rng = random.Random(rng.randrange(2 ** 62))
+            transfers = None
+            if execution is not None and execution.enabled:
+                transfers = execution.transfer_model(
+                    client_id, random.Random(client_rng.randrange(2 ** 62)))
             if self.shape == "closed-loop":
                 clients.append(ClosedLoopClient(
                     env, client_id, nodes, think_time=self.think_time,
-                    tx_size=self.tx_size, rng=client_rng, weights=weights))
+                    tx_size=self.tx_size, rng=client_rng, weights=weights,
+                    transfers=transfers))
             else:
                 clients.append(OpenLoopClient(
                     env, client_id, nodes, self._rate_shape(),
-                    tx_size=self.tx_size, rng=client_rng, weights=weights))
+                    tx_size=self.tx_size, rng=client_rng, weights=weights,
+                    transfers=transfers))
         workload = ClientWorkload.from_clients(env, clients)
         workload.start()
         return workload
@@ -304,6 +316,59 @@ class WorkloadSpec:
             base += f" at {self.rate_per_client:g} tx/s"
         if self.hotspot_skew:
             base += f", hotspot skew {self.hotspot_skew:g}"
+        return base
+
+
+# ----------------------------------------------------------------- execution
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Execution-layer knobs: the account state machine applied at delivery.
+
+    ``enabled`` turns on per-node execution and the cross-node ``state_root``
+    oracle for the scenario (every protocol).  Client-driven workloads then
+    emit structured transfers: each client owns sender account ``client_id %
+    n_accounts`` with a local nonce counter, recipients drawn with
+    ``recipient_skew`` (Zipf-like, account 0 hottest — real read-write
+    conflicts for hotspot scenarios) and amounts in ``[0, max_amount]``.
+    Running more clients than accounts makes clients share senders, whose
+    colliding nonce counters create the stale-rejection traffic the fairness
+    counters report.  Saturated workloads execute opaque blocks only — the
+    root then oracles pure delivery-order agreement.
+    """
+
+    enabled: bool = False
+    n_accounts: int = 64
+    initial_balance: int = 100_000
+    max_amount: int = 1_000
+    recipient_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_accounts < 1:
+            raise ValueError("n_accounts must be >= 1")
+        if self.initial_balance < 0:
+            raise ValueError("initial_balance must be >= 0")
+        if self.max_amount < 0:
+            raise ValueError("max_amount must be >= 0")
+        if self.recipient_skew < 0:
+            raise ValueError("recipient_skew must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutionSpec":
+        _check_unknown(data, cls)
+        return cls(**data)
+
+    def transfer_model(self, client_id: int, rng) -> TransferModel:
+        """The transfer stream of one client under this spec."""
+        return TransferModel(client_id, self.n_accounts, rng,
+                             max_amount=self.max_amount,
+                             recipient_skew=self.recipient_skew)
+
+    def summary(self) -> str:
+        base = (f"{self.n_accounts} account(s), "
+                f"balance {self.initial_balance}, "
+                f"amounts <= {self.max_amount}")
+        if self.recipient_skew:
+            base += f", recipient skew {self.recipient_skew:g}"
         return base
 
 
@@ -408,6 +473,8 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Account state machine applied at delivery (plus the state-root oracle).
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     #: Memory bounds for long-horizon runs (chain pruning, streamed metrics).
     retention: RetentionSpec = field(default_factory=RetentionSpec)
     #: Transaction-pool admission control (backlog cap + rejection counting).
@@ -439,6 +506,8 @@ class ScenarioSpec:
             kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
         if "workload" in kwargs and not isinstance(kwargs["workload"], WorkloadSpec):
             kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "execution" in kwargs and not isinstance(kwargs["execution"], ExecutionSpec):
+            kwargs["execution"] = ExecutionSpec.from_dict(kwargs["execution"])
         if "retention" in kwargs and not isinstance(kwargs["retention"], RetentionSpec):
             kwargs["retention"] = RetentionSpec.from_dict(kwargs["retention"])
         if "pool" in kwargs and not isinstance(kwargs["pool"], PoolSpec):
@@ -483,6 +552,8 @@ class ScenarioSpec:
             "workload": self.workload.summary(),
             "faults": self.faults.summary(),
         }
+        if self.execution.enabled:
+            summary["execution"] = self.execution.summary()
         if self.retention.bounded:
             summary["retention"] = self.retention.summary()
         if self.pool.max_pending is not None:

@@ -103,6 +103,14 @@ def _pick_node(rng: random.Random, nodes: Sequence,
     return rng.choices(nodes, weights=weights, k=1)[0]
 
 
+def _submission_fields(client) -> dict:
+    """Seeded payload identity plus transfer fields when structured."""
+    fields = {"payload_seed": client.payload_rng.randrange(2 ** 62)}
+    if client.transfers is not None:
+        fields.update(client.transfers.next_transfer())
+    return fields
+
+
 def hotspot_weights(n_nodes: int, skew: float) -> list[float]:
     """Zipf-like node selection weights: node ``i`` gets ``1/(i+1)**skew``.
 
@@ -112,6 +120,44 @@ def hotspot_weights(n_nodes: int, skew: float) -> list[float]:
     if skew < 0:
         raise ValueError("skew must be non-negative")
     return [1.0 / (i + 1) ** skew for i in range(n_nodes)]
+
+
+class TransferModel:
+    """Structured-transfer emission for one client (the execution layer).
+
+    The client owns sender account ``client_id % n_accounts`` and numbers its
+    transfers with a local nonce counter.  When a scenario runs more clients
+    than accounts, several clients share a sender and their independent nonce
+    counters collide — deliberate stale-nonce contention the account machine
+    must reject exactly once.  ``recipient_skew`` concentrates recipients on
+    low-numbered accounts (Zipf-like, account 0 hottest), creating the
+    read-write conflicts a hotspot workload is meant to exhibit.
+    """
+
+    def __init__(self, client_id: int, n_accounts: int, rng: random.Random,
+                 max_amount: int = 1_000, recipient_skew: float = 0.0) -> None:
+        if n_accounts < 1:
+            raise ValueError("n_accounts must be >= 1")
+        if max_amount < 0:
+            raise ValueError("max_amount must be >= 0")
+        if recipient_skew < 0:
+            raise ValueError("recipient_skew must be non-negative")
+        self.sender = client_id % n_accounts
+        self.rng = rng
+        self.max_amount = max_amount
+        self._accounts = list(range(n_accounts))
+        self._weights = (hotspot_weights(n_accounts, recipient_skew)
+                         if recipient_skew else None)
+        self._nonce = 0
+
+    def next_transfer(self) -> dict:
+        """Transfer fields for the client's next submission."""
+        recipient = _pick_node(self.rng, self._accounts, self._weights)
+        nonce = self._nonce
+        self._nonce += 1
+        return {"sender": self.sender, "recipient": recipient,
+                "amount": self.rng.randint(0, self.max_amount),
+                "nonce": nonce}
 
 
 class OpenLoopClient:
@@ -128,7 +174,8 @@ class OpenLoopClient:
     def __init__(self, env: Environment, client_id: int, nodes: Sequence[FLONode],
                  rate_per_second: Union[float, RateShape], tx_size: int = 512,
                  rng: Optional[random.Random] = None,
-                 weights: Optional[Sequence[float]] = None) -> None:
+                 weights: Optional[Sequence[float]] = None,
+                 transfers: Optional[TransferModel] = None) -> None:
         self.shape = _as_rate_shape(rate_per_second)
         if tx_size <= 0:
             raise ValueError("tx_size must be positive")
@@ -139,7 +186,12 @@ class OpenLoopClient:
         self.nodes = list(nodes)
         self.tx_size = tx_size
         self.rng = rng or random.Random(client_id)
+        # Payload identities come from a stream derived from this client's
+        # seeded RNG — not from the process-global transaction id counter,
+        # whose state leaks between runs and between clients.
+        self.payload_rng = random.Random(self.rng.randrange(2 ** 62))
         self.weights = _checked_weights(weights, self.nodes)
+        self.transfers = transfers
         #: Accepted / pool-cap-rejected submission counts.  Counters, not
         #: transaction lists, so a long soak run's clients stay O(1) memory.
         self.submitted_count = 0
@@ -161,7 +213,8 @@ class OpenLoopClient:
             yield self.env.timeout(self.rng.expovariate(self.rate))
             node = _pick_node(self.rng, self.nodes, self.weights)
             transaction = node.submit_transaction(
-                size_bytes=self.tx_size, client_id=self.client_id)
+                size_bytes=self.tx_size, client_id=self.client_id,
+                **_submission_fields(self))
             if transaction is None:
                 self.rejected_count += 1
             else:
@@ -182,7 +235,8 @@ class ClosedLoopClient:
                  think_time: float = 0.0, tx_size: int = 512,
                  rng: Optional[random.Random] = None,
                  poll_interval: float = 0.01,
-                 weights: Optional[Sequence[float]] = None) -> None:
+                 weights: Optional[Sequence[float]] = None,
+                 transfers: Optional[TransferModel] = None) -> None:
         if tx_size <= 0:
             raise ValueError("tx_size must be positive")
         if think_time < 0:
@@ -197,8 +251,12 @@ class ClosedLoopClient:
         self.think_time = think_time
         self.tx_size = tx_size
         self.rng = rng or random.Random(client_id)
+        # See OpenLoopClient: payload identities derive from the client's
+        # seeded RNG, not the process-global transaction id counter.
+        self.payload_rng = random.Random(self.rng.randrange(2 ** 62))
         self.poll_interval = poll_interval
         self.weights = _checked_weights(weights, self.nodes)
+        self.transfers = transfers
         self.submitted_count = 0
         self.rejected_count = 0
         self.completed = 0
@@ -215,7 +273,8 @@ class ClosedLoopClient:
             node = _pick_node(self.rng, self.nodes, self.weights)
             before = node.delivered_transactions
             transaction = node.submit_transaction(size_bytes=self.tx_size,
-                                                  client_id=self.client_id)
+                                                  client_id=self.client_id,
+                                                  **_submission_fields(self))
             if transaction is None:
                 self.rejected_count += 1
                 yield self.env.timeout(self.poll_interval)

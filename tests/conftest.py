@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.core.cluster import run_cluster
 from repro.core.config import FireLedgerConfig
 from repro.crypto.keys import KeyStore
 from repro.net.latency import SingleDatacenterLatency
@@ -41,3 +42,36 @@ def network(env: Environment) -> Network:
 def keystore() -> KeyStore:
     """Key pairs for a 4-node cluster."""
     return KeyStore(4)
+
+
+@pytest.fixture(scope="session")
+def cluster_result():
+    """Memoizing ``run_cluster`` factory shared across test modules.
+
+    ``cluster_result(seed=7, batch_size=100, ...)`` runs a cluster with the
+    small default configuration (n=4, workers=1, batch=10, tx=512; 0.6s run,
+    0.1s warmup, seed 3) overridden by the keyword arguments — config fields
+    and ``run_cluster`` parameters alike — and caches the result, so test
+    modules asserting different properties of the same run share one
+    simulation instead of re-running it.  Deliberately session-scoped:
+    results are immutable summaries, and determinism tests that need two
+    *fresh* runs should call ``run_cluster`` directly.
+    """
+    run_params = ("protocol", "duration", "warmup", "seed", "latency_model",
+                  "geo_distributed", "crash_schedule", "byzantine_nodes",
+                  "fault_controller", "latency_trim", "setup",
+                  "excluded_nodes")
+    defaults = dict(n_nodes=4, workers=1, batch_size=10, tx_size=512,
+                    duration=0.6, warmup=0.1, seed=3)
+    cache: dict = {}
+
+    def run(**overrides):
+        kwargs = {**defaults, **overrides}
+        run_kwargs = {key: kwargs.pop(key) for key in run_params
+                      if key in kwargs}
+        key = repr(sorted(kwargs.items())) + repr(sorted(run_kwargs.items()))
+        if key not in cache:
+            cache[key] = run_cluster(FireLedgerConfig(**kwargs), **run_kwargs)
+        return cache[key]
+
+    return run

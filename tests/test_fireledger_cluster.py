@@ -10,10 +10,9 @@ DURATION = 0.6
 WARMUP = 0.1
 
 
-@pytest.fixture(scope="module")
-def fault_free_result():
-    config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    return run_fireledger_cluster(config, duration=DURATION, warmup=WARMUP, seed=3)
+@pytest.fixture
+def fault_free_result(cluster_result):
+    return cluster_result()  # the shared factory's defaults: n=4, seed 3
 
 
 def test_cluster_makes_progress(fault_free_result):
@@ -99,40 +98,30 @@ def test_different_seed_changes_low_level_timing():
     assert first.latency.mean != second.latency.mean
 
 
-def test_multiple_workers_raise_throughput():
-    single = run_fireledger_cluster(
-        FireLedgerConfig(n_nodes=4, workers=1, batch_size=100, tx_size=512),
-        duration=DURATION, warmup=WARMUP, seed=5)
-    quad = run_fireledger_cluster(
-        FireLedgerConfig(n_nodes=4, workers=4, batch_size=100, tx_size=512),
-        duration=DURATION, warmup=WARMUP, seed=5)
+def test_multiple_workers_raise_throughput(cluster_result):
+    single = cluster_result(batch_size=100, seed=5)
+    quad = cluster_result(workers=4, batch_size=100, seed=5)
     assert quad.tps > single.tps * 1.5
 
 
-def test_larger_batches_raise_throughput():
-    small = run_fireledger_cluster(
-        FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512),
-        duration=DURATION, warmup=WARMUP, seed=5)
-    large = run_fireledger_cluster(
-        FireLedgerConfig(n_nodes=4, workers=1, batch_size=1000, tx_size=512),
-        duration=DURATION, warmup=WARMUP, seed=5)
+def test_larger_batches_raise_throughput(cluster_result):
+    small = cluster_result(seed=5)
+    large = cluster_result(batch_size=1000, seed=5)
     assert large.tps > small.tps * 2
 
 
-def test_geo_distribution_reduces_block_rate():
-    config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    local = run_fireledger_cluster(config, duration=DURATION, warmup=WARMUP, seed=9)
-    geo = run_fireledger_cluster(config, duration=2.0, warmup=0.3, seed=9,
-                                 geo_distributed=True)
+def test_geo_distribution_reduces_block_rate(cluster_result):
+    local = cluster_result(seed=9)
+    geo = cluster_result(duration=2.0, warmup=0.3, seed=9,
+                         geo_distributed=True)
     assert geo.bps < local.bps * 0.2
     assert geo.bps > 0
 
 
-def test_crash_of_f_nodes_does_not_stop_progress():
-    config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=100, tx_size=512)
-    crash = CrashSchedule.crash_f_nodes(config.n_nodes, config.f, at=0.05)
-    result = run_fireledger_cluster(config, duration=1.0, warmup=0.3, seed=4,
-                                    crash_schedule=crash)
+def test_crash_of_f_nodes_does_not_stop_progress(cluster_result):
+    crash = CrashSchedule.crash_f_nodes(4, 1, at=0.05)
+    result = cluster_result(batch_size=100, duration=1.0, warmup=0.3, seed=4,
+                            crash_schedule=crash)
     assert result.tps > 0
     assert result.bps > 10
     # Correct nodes still agree.

@@ -10,6 +10,7 @@ from repro.crypto.cost_model import CryptoCostModel, M5_XLARGE
 from repro.crypto.hashing import merkle_root
 from repro.crypto.vrf import proposer_permutation
 from repro.ledger import Batch, Blockchain, ChainVersion, Transaction, build_block
+from repro.ledger.state import LedgerExecutor, verify_state_agreement
 from repro.crypto.keys import KeyStore
 from repro.metrics.summary import percentile
 
@@ -150,3 +151,106 @@ def test_adaptive_timer_always_within_bounds(events):
 def test_percentile_within_range(samples, q):
     value = percentile(samples, q)
     assert min(samples) <= value <= max(samples)
+
+
+# ------------------------------------------------------------ execution layer
+N_ACCOUNTS = 4
+INITIAL_BALANCE = 100
+
+transfer_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=N_ACCOUNTS - 1),   # sender
+              st.integers(min_value=0, max_value=N_ACCOUNTS - 1),   # recipient
+              st.integers(min_value=0, max_value=150),              # amount
+              st.integers(min_value=0, max_value=6)),               # nonce
+    min_size=0, max_size=60)
+
+
+def make_transfers(stream):
+    return [Transaction.create(client_id=sender, size_bytes=8,
+                               payload_seed=index, sender=sender,
+                               recipient=recipient, amount=amount, nonce=nonce)
+            for index, (sender, recipient, amount, nonce) in enumerate(stream)]
+
+
+def apply_stream(executor, transfers, seed, block_min=1, block_max=7):
+    """Partition ``transfers`` into seeded block sizes and deliver them."""
+    rng = random.Random(seed)
+    index, delivery = 0, 0
+    while index < len(transfers):
+        size = rng.randint(block_min, block_max)
+        block = transfers[index:index + size]
+        executor.apply_delivery(tag=("block", delivery, len(block)),
+                                transactions=block, tx_count=len(block),
+                                proposer=delivery % N_ACCOUNTS)
+        index += size
+        delivery += 1
+
+
+@common_settings
+@given(transfer_streams, st.integers(min_value=0, max_value=2 ** 31),
+       st.integers(min_value=0, max_value=2 ** 31))
+def test_agreed_delivery_order_yields_identical_state_roots(stream, shuffle_seed,
+                                                            block_seed):
+    """Any agreed ordering executes to one root: executors are pure functions
+    of the delivered sequence, with no hidden per-node state."""
+    ordering = make_transfers(stream)
+    random.Random(shuffle_seed).shuffle(ordering)
+    first = LedgerExecutor(N_ACCOUNTS, INITIAL_BALANCE, n_nodes=4)
+    second = LedgerExecutor(N_ACCOUNTS, INITIAL_BALANCE, n_nodes=4)
+    apply_stream(first, ordering, seed=block_seed)
+    apply_stream(second, ordering, seed=block_seed)
+    assert first.state_root == second.state_root
+    assert first.deliveries == second.deliveries
+    for counter in ("applied", "stale", "invalid", "opaque"):
+        assert getattr(first.state, counter) == getattr(second.state, counter)
+    deliveries, root = verify_state_agreement([first, second])
+    assert deliveries == first.deliveries
+    assert root == first.state_root
+    # Money is conserved under every ordering and every block partition.
+    total = sum(first.state.balance_of(account)
+                for account in range(N_ACCOUNTS))
+    assert total == N_ACCOUNTS * INITIAL_BALANCE
+    # Outcomes partition the stream exactly.
+    state = first.state
+    assert state.applied + state.stale + state.invalid + state.opaque == len(stream)
+
+
+@common_settings
+@given(transfer_streams, st.integers(min_value=0, max_value=2 ** 31))
+def test_replayed_transfers_are_rejected_exactly_once(stream, block_seed):
+    """Re-delivering the whole stream changes nothing: every replay lands
+    below the sender's advanced nonce and is counted stale, exactly once."""
+    transfers = make_transfers(stream)
+    executor = LedgerExecutor(N_ACCOUNTS, INITIAL_BALANCE, n_nodes=4)
+    apply_stream(executor, transfers, seed=block_seed)
+    applied, invalid = executor.state.applied, executor.state.invalid
+    stale = executor.state.stale
+    balances = [executor.state.balance_of(a) for a in range(N_ACCOUNTS)]
+    apply_stream(executor, transfers, seed=block_seed + 1)
+    # The replay applied/invalidated nothing and went stale wholesale.
+    assert executor.state.applied == applied
+    assert executor.state.invalid == invalid
+    assert executor.state.stale == stale + len(transfers)
+    assert [executor.state.balance_of(a) for a in range(N_ACCOUNTS)] == balances
+
+
+@common_settings
+@given(transfer_streams, st.integers(min_value=0, max_value=2 ** 31),
+       st.integers(min_value=1, max_value=8))
+def test_pruned_history_never_changes_the_root(stream, block_seed, limit):
+    """A bounded delivery history (the pruning analogue) affects only how far
+    back the oracle can compare — never the root itself."""
+    transfers = make_transfers(stream)
+    unbounded = LedgerExecutor(N_ACCOUNTS, INITIAL_BALANCE, n_nodes=4)
+    bounded = LedgerExecutor(N_ACCOUNTS, INITIAL_BALANCE, n_nodes=4,
+                             history_limit=limit)
+    apply_stream(unbounded, transfers, seed=block_seed)
+    apply_stream(bounded, transfers, seed=block_seed)
+    assert bounded.state_root == unbounded.state_root
+    deliveries, root = verify_state_agreement([unbounded, bounded])
+    assert deliveries == unbounded.deliveries
+    if unbounded.deliveries:
+        assert root == unbounded.state_root
+    # The bounded executor really pruned once past its window.
+    if unbounded.deliveries > limit:
+        assert bounded.oldest_recorded > 1

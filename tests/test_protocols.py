@@ -45,10 +45,9 @@ def test_registry_rejects_unknown_protocol():
 
 # ------------------------------------------------------- unified run_cluster
 @pytest.mark.parametrize("protocol", PROTOCOLS)
-def test_run_cluster_commits_under_every_protocol(protocol):
-    config = FireLedgerConfig(n_nodes=4, batch_size=100, tx_size=512)
-    result = run_cluster(config, protocol=protocol, duration=1.0,
-                         warmup=0.2, seed=2)
+def test_run_cluster_commits_under_every_protocol(protocol, cluster_result):
+    result = cluster_result(batch_size=100, protocol=protocol, duration=1.0,
+                            warmup=0.2, seed=2)
     assert result.protocol == protocol
     assert result.tps > 0
     assert result.bps > 0
@@ -101,17 +100,15 @@ def test_deprecated_wrappers_accept_short_smoke_durations():
     assert result.protocol == "hotstuff"
 
 
-def test_client_batches_are_charged_at_their_actual_size():
+def test_client_batches_are_charged_at_their_actual_size(cluster_result):
     """fill_blocks=False: an idle cluster commits empty batches but must not
     pay full-batch crypto cost for them, so its block cadence beats the
     saturated one."""
-    idle = run_cluster(
-        FireLedgerConfig(n_nodes=4, batch_size=1000, tx_size=512,
-                         fill_blocks=False),
-        protocol="hotstuff", duration=1.0, warmup=0.2, seed=1)
-    saturated = run_cluster(
-        FireLedgerConfig(n_nodes=4, batch_size=1000, tx_size=512),
-        protocol="hotstuff", duration=1.0, warmup=0.2, seed=1)
+    idle = cluster_result(batch_size=1000, fill_blocks=False,
+                          protocol="hotstuff", duration=1.0, warmup=0.2,
+                          seed=1)
+    saturated = cluster_result(batch_size=1000, protocol="hotstuff",
+                               duration=1.0, warmup=0.2, seed=1)
     assert idle.tps == 0
     assert idle.bps > saturated.bps * 2
 
@@ -148,10 +145,10 @@ def test_hotstuff_skips_crashed_leaders_views_and_stays_live():
     assert last_commit > duration - 1.0
 
 
-def test_hotstuff_silent_byzantine_node_exercises_view_skip():
-    config = FireLedgerConfig(n_nodes=4, batch_size=10, tx_size=256)
-    result = run_cluster(config, protocol="hotstuff", duration=3.0,
-                         warmup=0.2, seed=3, byzantine_nodes=frozenset({2}))
+def test_hotstuff_silent_byzantine_node_exercises_view_skip(cluster_result):
+    result = cluster_result(batch_size=10, tx_size=256, protocol="hotstuff",
+                            duration=3.0, warmup=0.2, seed=3,
+                            byzantine_nodes=frozenset({2}))
     assert result.blocks_committed > 0
     assert result.breakdown["views_timed_out"] >= 1
     # The silent node never runs, so it commits nothing.

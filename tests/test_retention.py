@@ -420,12 +420,12 @@ def test_shared_pool_max_pending():
 BASE = dict(n_nodes=4, workers=1, batch_size=100, tx_size=512)
 
 
-def test_pruned_cluster_reproduces_unbounded_results():
+def test_pruned_cluster_reproduces_unbounded_results(cluster_result):
     """Retention must change memory, not any protocol decision or rate."""
-    off = run_cluster(FireLedgerConfig(**BASE), duration=1.0, warmup=0.2, seed=7)
-    on = run_cluster(FireLedgerConfig(**BASE, retention_rounds=32,
-                                      metrics_horizon_rounds=32),
-                     duration=1.0, warmup=0.2, seed=7)
+    off = cluster_result(**BASE, duration=1.0, warmup=0.2, seed=7)
+    on = cluster_result(**BASE, retention_rounds=32,
+                        metrics_horizon_rounds=32,
+                        duration=1.0, warmup=0.2, seed=7)
     assert on.tps == pytest.approx(off.tps)
     assert on.bps == pytest.approx(off.bps)
     assert on.latency.mean == pytest.approx(off.latency.mean)
@@ -437,13 +437,13 @@ def test_pruned_cluster_reproduces_unbounded_results():
     assert heads_on == heads_off
 
 
-def test_long_run_live_state_is_flat_in_duration():
+def test_long_run_live_state_is_flat_in_duration(cluster_result):
     """Doubling the run must not grow live blocks/records (O(window) memory)."""
-    config = FireLedgerConfig(**BASE, retention_rounds=32,
-                              metrics_horizon_rounds=32)
     live = {}
     for duration in (1.0, 2.0):
-        result = run_cluster(config, duration=duration, warmup=0.2, seed=7)
+        result = cluster_result(**BASE, retention_rounds=32,
+                                metrics_horizon_rounds=32,
+                                duration=duration, warmup=0.2, seed=7)
         live[duration] = (
             max(len(w.chain) for n in result.nodes for w in n.workers),
             max(n.recorder.live_records for n in result.nodes),
@@ -451,33 +451,27 @@ def test_long_run_live_state_is_flat_in_duration():
         total = max(w.chain.total_blocks for n in result.nodes
                     for w in n.workers)
         assert total > live[duration][0]  # the ledger kept growing
-    bound = 32 + config.finality_depth + PRUNE_SLACK + 1
+    bound = 32 + result.config.finality_depth + PRUNE_SLACK + 1
     assert live[2.0][0] <= bound
     assert live[2.0][0] <= live[1.0][0] + 2  # flat, not linear
     assert live[2.0][1] <= live[1.0][1] + 2 * 32
 
 
-def test_small_retention_rounds_do_not_stall_the_cluster():
+def test_small_retention_rounds_do_not_stall_the_cluster(cluster_result):
     """Regression: a tiny retention window must never evict a body a round
     still needs (pre-disseminated bodies run ahead of their rounds)."""
-    config = dict(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    off = run_cluster(FireLedgerConfig(**config), duration=1.0, warmup=0.2,
-                      seed=7)
-    on = run_cluster(FireLedgerConfig(**config, retention_rounds=4),
-                     duration=1.0, warmup=0.2, seed=7)
+    off = cluster_result(duration=1.0, warmup=0.2, seed=7)
+    on = cluster_result(retention_rounds=4, duration=1.0, warmup=0.2, seed=7)
     assert on.tps == pytest.approx(off.tps)
     assert on.bps == pytest.approx(off.bps)
 
 
-def test_schedule_permutation_survives_small_retention():
+def test_schedule_permutation_survives_small_retention(cluster_result):
     """Regression: the permutation seed looks back 2*(f+2) rounds; retention
     is clamped so the seed block is always still live."""
-    config = dict(n_nodes=4, workers=1, batch_size=10, tx_size=512,
-                  permute_every=8)
-    off = run_cluster(FireLedgerConfig(**config), duration=1.0, warmup=0.2,
-                      seed=7)
-    on = run_cluster(FireLedgerConfig(**config, retention_rounds=4),
-                     duration=1.0, warmup=0.2, seed=7)
+    off = cluster_result(permute_every=8, duration=1.0, warmup=0.2, seed=7)
+    on = cluster_result(permute_every=8, retention_rounds=4,
+                        duration=1.0, warmup=0.2, seed=7)
     schedules_off = [w.schedule for n in off.nodes for w in n.workers]
     schedules_on = [w.schedule for n in on.nodes for w in n.workers]
     assert schedules_on == schedules_off
@@ -485,18 +479,18 @@ def test_schedule_permutation_survives_small_retention():
     assert on.tps == pytest.approx(off.tps)
 
 
-def test_byzantine_recovery_still_works_with_retention():
+def test_byzantine_recovery_still_works_with_retention(cluster_result):
     """Recovery adoption must stay correct over pruned chains, and the
     streamed breakdown must keep its C->D / D->E spans through the
     multi-round definite advances a recovery causes (D before E)."""
-    config = FireLedgerConfig(**BASE, retention_rounds=32,
-                              metrics_horizon_rounds=32)
-    result = run_cluster(config, duration=1.0, warmup=0.2, seed=7,
-                         byzantine_nodes=frozenset({3}))
+    result = cluster_result(**BASE, retention_rounds=32,
+                            metrics_horizon_rounds=32,
+                            duration=1.0, warmup=0.2, seed=7,
+                            byzantine_nodes=frozenset({3}))
     assert result.recoveries > 0
     assert result.tps > 0
-    exact = run_cluster(FireLedgerConfig(**BASE), duration=1.0, warmup=0.2,
-                        seed=7, byzantine_nodes=frozenset({3}))
+    exact = cluster_result(**BASE, duration=1.0, warmup=0.2, seed=7,
+                           byzantine_nodes=frozenset({3}))
     span_keys = {k for k in exact.breakdown if "->" in k}
     assert {"C->D", "D->E"} <= span_keys
     assert {k for k in result.breakdown if "->" in k} == span_keys
