@@ -6,7 +6,7 @@ Compares FireLedger with and without the header/body separation (Section
 
 import pytest
 
-from repro import FireLedgerConfig, run_fireledger_cluster
+from repro import FireLedgerConfig, run_cluster
 from repro.faults.crash import CrashSchedule
 
 DURATION = 0.5
@@ -14,8 +14,8 @@ WARMUP = 0.1
 
 
 def _run(config, **kwargs):
-    return run_fireledger_cluster(config, duration=DURATION, warmup=WARMUP,
-                                  seed=21, **kwargs)
+    return run_cluster(config, duration=DURATION, warmup=WARMUP,
+                       seed=21, **kwargs)
 
 
 def test_ablation_header_body_separation(benchmark):

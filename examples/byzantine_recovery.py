@@ -11,16 +11,16 @@ Run with::
     python examples/byzantine_recovery.py
 """
 
-from repro import FireLedgerConfig, run_fireledger_cluster
+from repro import FireLedgerConfig, run_cluster
 from repro.experiments import ExperimentScale, format_rows, registry
 
 
 def main() -> None:
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=100, tx_size=512)
 
-    honest = run_fireledger_cluster(config, duration=1.5, warmup=0.2, seed=9)
-    attacked = run_fireledger_cluster(config, duration=1.5, warmup=0.2, seed=9,
-                                      byzantine_nodes=frozenset({3}))
+    honest = run_cluster(config, duration=1.5, warmup=0.2, seed=9)
+    attacked = run_cluster(config, duration=1.5, warmup=0.2, seed=9,
+                           byzantine_nodes=frozenset({3}))
 
     print("FireLedger under an equivocating proposer (node 3)")
     print(f"  fault-free throughput : {honest.tps:,.0f} tps, "

@@ -9,7 +9,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import FireLedgerConfig, run_fireledger_cluster
+from repro import FireLedgerConfig, run_cluster
 from repro.experiments import ExperimentScale, format_rows, registry
 
 
@@ -20,7 +20,7 @@ def main() -> None:
         batch_size=100,     # transactions per block
         tx_size=512,        # bytes per transaction (typical Bitcoin size)
     )
-    result = run_fireledger_cluster(config, duration=1.0, warmup=0.2, seed=42)
+    result = run_cluster(config, duration=1.0, warmup=0.2, seed=42)
 
     print("FireLedger quickstart (single data-center, fault-free)")
     print(f"  throughput : {result.tps:,.0f} transactions/second")

@@ -7,12 +7,12 @@ here:
 
 * :class:`~repro.core.config.FireLedgerConfig` — deployment parameters,
 * :func:`~repro.core.cluster.run_cluster` — build/run/measure a cluster
-  under any registered :class:`~repro.protocols.base.ConsensusProtocol`
-  (``run_fireledger_cluster`` is its deprecated FireLedger-only alias),
+  under any registered :class:`~repro.protocols.base.ConsensusProtocol`,
 * :class:`~repro.core.flo.FLONode` / :class:`~repro.core.fireledger.FireLedgerWorker`
   — the orchestrator and the protocol instance,
 * the ``protocols`` subpackage — the pluggable protocol registry
-  (FireLedger plus the HotStuff / BFT-SMaRt baselines from ``baselines``),
+  (FireLedger plus the HotStuff / BFT-SMaRt baselines from ``baselines``,
+  composable into ``multiplexed(P, lanes=M)`` consensus lanes),
 * the ``experiments`` subpackage — one driver per table/figure of the paper.
 """
 
@@ -23,7 +23,6 @@ from repro.core import (
     FLONode,
     max_faults,
     run_cluster,
-    run_fireledger_cluster,
 )
 from repro.crypto import CryptoCostModel, MachineSpec
 from repro.crypto.cost_model import C5_4XLARGE, M5_XLARGE
@@ -37,7 +36,6 @@ __all__ = [
     "FLONode",
     "ClusterResult",
     "run_cluster",
-    "run_fireledger_cluster",
     "max_faults",
     "CryptoCostModel",
     "MachineSpec",

@@ -11,18 +11,16 @@ are :class:`~repro.protocols.base.ConsensusProtocol` implementations driven by
 * :mod:`repro.baselines.bftsmart` — a PBFT-style, leader-driven ordering
   service in the mould of BFT-SMaRt (pre-prepare / prepare / commit).
 
-The historical ``run_hotstuff_cluster`` / ``run_bftsmart_cluster`` helpers
-remain as deprecated aliases; both now return the unified
-:class:`~repro.core.cluster.ClusterResult` (``BaselineResult`` is retired —
-its counters live in ``ClusterResult.breakdown``).
+Run them with ``run_cluster(config, protocol="hotstuff")`` /
+``protocol="bftsmart"``; results come back as the unified
+:class:`~repro.core.cluster.ClusterResult` (protocol-specific counters live
+in ``ClusterResult.breakdown``).
 """
 
-from repro.baselines.bftsmart import BFTSmartReplica, run_bftsmart_cluster
-from repro.baselines.hotstuff import HotStuffReplica, run_hotstuff_cluster
+from repro.baselines.bftsmart import BFTSmartReplica
+from repro.baselines.hotstuff import HotStuffReplica
 
 __all__ = [
-    "run_hotstuff_cluster",
-    "run_bftsmart_cluster",
     "HotStuffReplica",
     "BFTSmartReplica",
 ]

@@ -29,13 +29,12 @@ exercise FireLedger, not the baselines).  Cluster wiring lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.baselines.replica import PooledReplicaMixin
 from repro.core.context import ProtocolContext
-from repro.crypto.cost_model import C5_4XLARGE, CryptoCostModel, MachineSpec
+from repro.crypto.cost_model import CryptoCostModel
 from repro.crypto.keys import KeyStore
-from repro.net.latency import LatencyModel
+from repro.ledger.delivery import Delivery, DeliveryStream
 from repro.net.network import Network
 from repro.sim import Environment, Store
 
@@ -92,8 +91,10 @@ class BFTSmartReplica(PooledReplicaMixin):
             (lambda message: None) if silent else self.context.inbox.put)
         self.committed: list[_CommittedBatch] = []
         self.leader = 0
-        #: Execution layer (assigned by the protocol adapter when enabled):
-        #: committed batches are applied in sequence order.
+        #: Delivery seam: one Delivery per committed instance, in sequence
+        #: order.  The cluster runner subscribes the execution layer here.
+        self.delivery_stream = DeliveryStream()
+        #: Execution layer, attached by the cluster runner (None otherwise).
         self.executor = None
         self.instances_timed_out = 0
         self.signatures = 0
@@ -163,36 +164,12 @@ class BFTSmartReplica(PooledReplicaMixin):
                 tx_count=proposal.payload["tx_count"],
                 proposed_at=proposal.payload["proposed_at"],
                 committed_at=self.env.now))
-            if self.executor is not None:
-                self.executor.apply_delivery(
-                    tag=("smart", next_seq, proposal.payload["tx_count"]),
-                    transactions=proposal.payload.get("transactions", ()),
-                    tx_count=proposal.payload["tx_count"],
-                    proposer=self.leader,
-                    now=self.env.now)
+            self.delivery_stream.deliver(Delivery(
+                tag=("smart", next_seq, proposal.payload["tx_count"]),
+                transactions=proposal.payload.get("transactions", ()),
+                tx_count=proposal.payload["tx_count"],
+                proposer=self.leader,
+                proposed_at=proposal.payload["proposed_at"],
+                time=self.env.now,
+                sequence=next_seq))
             next_seq += 1
-
-
-def run_bftsmart_cluster(n_nodes: int, batch_size: int, tx_size: int,
-                         duration: float = 3.0, machine: MachineSpec = C5_4XLARGE,
-                         f: Optional[int] = None,
-                         latency_model: Optional[LatencyModel] = None,
-                         seed: int = 0, warmup: float = 0.2):
-    """Deprecated alias: build and run a BFT-SMaRt-style cluster.
-
-    Kept for the pre-protocol-API callers; new code should use
-    ``run_cluster(config, protocol="bftsmart", ...)`` which owns all the
-    wiring this helper used to duplicate.  Returns the unified
-    :class:`~repro.core.cluster.ClusterResult`.
-    """
-    from repro.core.cluster import run_cluster
-    from repro.core.config import FireLedgerConfig
-
-    config = FireLedgerConfig(n_nodes=n_nodes, batch_size=batch_size,
-                              tx_size=tx_size, machine=machine,
-                              **({"f": f} if f is not None else {}))
-    # The retired cluster classes accepted any positive duration; clamp the
-    # default warmup so short smoke runs keep working through run_cluster.
-    return run_cluster(config, protocol="bftsmart", duration=duration,
-                       warmup=min(warmup, duration / 2), seed=seed,
-                       latency_model=latency_model)

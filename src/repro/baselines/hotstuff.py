@@ -31,13 +31,12 @@ via :class:`repro.protocols.hotstuff.HotStuffProtocol`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.baselines.replica import PooledReplicaMixin
 from repro.core.context import ProtocolContext
-from repro.crypto.cost_model import C5_4XLARGE, CryptoCostModel, MachineSpec
+from repro.crypto.cost_model import CryptoCostModel
 from repro.crypto.keys import KeyStore
-from repro.net.latency import LatencyModel
+from repro.ledger.delivery import Delivery, DeliveryStream
 from repro.net.network import Network
 from repro.sim import Environment, Store
 
@@ -93,8 +92,10 @@ class HotStuffReplica(PooledReplicaMixin):
         self.committed: list[_CommittedBlock] = []
         self._proposals: dict[int, tuple[float, int, tuple]] = {}
         self._seen_proposal_view = -1
-        #: Execution layer (assigned by the protocol adapter when enabled):
-        #: committed batches are applied in commit (view) order.
+        #: Delivery seam: one Delivery per three-chain commit, in view order.
+        #: The cluster runner subscribes the execution layer here.
+        self.delivery_stream = DeliveryStream()
+        #: Execution layer, attached by the cluster runner (None otherwise).
         self.executor = None
         self.view = 0
         self.views_timed_out = 0
@@ -169,36 +170,12 @@ class HotStuffReplica(PooledReplicaMixin):
                     tx_count=tx_count,
                     proposed_at=proposed_at,
                     committed_at=self.env.now))
-                if self.executor is not None:
-                    self.executor.apply_delivery(
-                        tag=("hs", commit_view, tx_count),
-                        transactions=transactions,
-                        tx_count=tx_count,
-                        proposer=self._leader_of(commit_view),
-                        now=self.env.now)
+                self.delivery_stream.deliver(Delivery(
+                    tag=("hs", commit_view, tx_count),
+                    transactions=transactions,
+                    tx_count=tx_count,
+                    proposer=self._leader_of(commit_view),
+                    proposed_at=proposed_at,
+                    time=self.env.now,
+                    sequence=commit_view))
             self.view += 1
-
-
-def run_hotstuff_cluster(n_nodes: int, batch_size: int, tx_size: int,
-                         duration: float = 3.0, machine: MachineSpec = C5_4XLARGE,
-                         f: Optional[int] = None,
-                         latency_model: Optional[LatencyModel] = None,
-                         seed: int = 0, warmup: float = 0.2):
-    """Deprecated alias: build and run a HotStuff cluster.
-
-    Kept for the pre-protocol-API callers; new code should use
-    ``run_cluster(config, protocol="hotstuff", ...)`` which owns all the
-    wiring this helper used to duplicate.  Returns the unified
-    :class:`~repro.core.cluster.ClusterResult`.
-    """
-    from repro.core.cluster import run_cluster
-    from repro.core.config import FireLedgerConfig
-
-    config = FireLedgerConfig(n_nodes=n_nodes, batch_size=batch_size,
-                              tx_size=tx_size, machine=machine,
-                              **({"f": f} if f is not None else {}))
-    # The retired cluster classes accepted any positive duration; clamp the
-    # default warmup so short smoke runs keep working through run_cluster.
-    return run_cluster(config, protocol="hotstuff", duration=duration,
-                       warmup=min(warmup, duration / 2), seed=seed,
-                       latency_model=latency_model)

@@ -7,7 +7,8 @@ surface the clients in :mod:`repro.workload.clients` drive — a
 and the same batch-draining rule for ``fill_blocks=False`` configs.  The
 mixin keeps that surface in one place; a concrete replica provides
 ``env``, ``tx_size``, ``batch_size``, ``fill_blocks``, ``pool``, a
-``committed`` list of records with ``tx_count`` fields, and sets
+``delivery_stream`` (its :class:`~repro.ledger.delivery.DeliveryStream`,
+whose counters back the delivered-work properties), and sets
 ``HEADER_OVERHEAD`` to its wire format's per-batch framing bytes.
 """
 
@@ -50,11 +51,11 @@ class PooledReplicaMixin:
 
     @property
     def delivered_blocks(self) -> int:
-        return len(self.committed)
+        return self.delivery_stream.deliveries
 
     @property
     def delivered_transactions(self) -> int:
-        return sum(record.tx_count for record in self.committed)
+        return self.delivery_stream.transactions
 
     def _next_batch(self) -> "tuple[int, tuple]":
         """``(tx_count, transactions)`` for the next proposal: a full batch

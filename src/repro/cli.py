@@ -40,6 +40,7 @@ _AXIS_FLAGS = {
     "tx_sizes": registry.AXIS_TX,
     "workers": registry.AXIS_WORKERS,
     "protocol": registry.AXIS_PROTOCOL,
+    "lanes": registry.AXIS_LANES,
 }
 
 
@@ -117,6 +118,10 @@ def _add_axis_options(parser: argparse.ArgumentParser) -> None:
                         metavar="P,P",
                         help="consensus protocol(s) to run, e.g. "
                              "fireledger,hotstuff,bftsmart (scenarios)")
+    parser.add_argument("--lanes", type=_int_list, default=None,
+                        metavar="M,M",
+                        help="multiplexed consensus lane counts, e.g. 1,4 "
+                             "(scenarios)")
     parser.add_argument("--axis", type=_axis_assignment, action="append",
                         default=None, metavar="NAME=V,V",
                         help="generic axis assignment, e.g. "

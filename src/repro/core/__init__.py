@@ -1,6 +1,6 @@
 """FireLedger core: the protocol, its orchestrator and the cluster runner."""
 
-from repro.core.cluster import ClusterResult, run_cluster, run_fireledger_cluster
+from repro.core.cluster import ClusterResult, run_cluster
 from repro.core.config import FireLedgerConfig, max_faults
 from repro.core.context import PanicInterrupt, ProtocolContext
 from repro.core.failure_detector import BenignFailureDetector
@@ -16,7 +16,6 @@ __all__ = [
     "FLONode",
     "ClusterResult",
     "run_cluster",
-    "run_fireledger_cluster",
     "ProtocolContext",
     "PanicInterrupt",
     "AdaptiveTimer",

@@ -9,8 +9,13 @@ schedules, Byzantine membership, network fault controllers and client
 workloads, runs the simulation for a configured duration and aggregates the
 protocol's per-node metric hooks into one unified :class:`ClusterResult`.
 
-:func:`run_fireledger_cluster` is the historical FireLedger-only entry point,
-kept as a thin deprecated alias for ``run_cluster(..., protocol="fireledger")``.
+The runner owns the delivery seam end-to-end: after the protocol builds its
+nodes, the runner subscribes each node's
+:class:`~repro.ledger.delivery.DeliveryStream` to a per-node
+:class:`~repro.ledger.state.LedgerExecutor` (when execution is enabled), so
+no protocol implementation hand-wires execution.  ``config.lanes > 1``
+transparently wraps the chosen protocol in
+:class:`~repro.protocols.multiplexed.MultiplexedProtocol`.
 """
 
 from __future__ import annotations
@@ -164,6 +169,9 @@ def run_cluster(config: FireLedgerConfig,
     from repro import protocols as protocol_registry  # lazy: avoids a cycle
 
     impl = protocol_registry.resolve(protocol)
+    if config.lanes > 1 and not isinstance(
+            impl, protocol_registry.MultiplexedProtocol):
+        impl = protocol_registry.MultiplexedProtocol(impl, lanes=config.lanes)
     if duration <= 0:
         raise ValueError("duration must be positive")
     if warmup < 0 or warmup >= duration:
@@ -188,6 +196,22 @@ def run_cluster(config: FireLedgerConfig,
     byzantine = frozenset(byzantine_nodes or ())
     nodes = impl.build_nodes(env, network, keystore, config, rng,
                              byzantine_nodes=byzantine)
+    # The delivery seam: attach one executor per node by subscribing it to
+    # the node's stream — uniformly, whatever the protocol.  Protocols keep
+    # their streams' earlier subscribers (metric recorders, lane merges)
+    # ahead of the executor, and release bookkeeping that could unlock
+    # pruning runs only after deliver() returns, so a block always executes
+    # strictly before it may be dropped.
+    if config.execute_transactions:
+        from repro.ledger.state import LedgerExecutor
+
+        for node in nodes:
+            stream = impl.delivery_stream(node)
+            if stream is None or getattr(node, "executor", None) is not None:
+                continue
+            executor = LedgerExecutor.from_config(config)
+            node.executor = executor
+            stream.subscribe(executor.on_delivery)
     impl.set_measurement_window(nodes, warmup)
     impl.start(nodes)
 
@@ -300,30 +324,3 @@ def run_cluster(config: FireLedgerConfig,
         state_root=state_root,
         state_deliveries=state_deliveries,
     )
-
-
-def run_fireledger_cluster(config: FireLedgerConfig,
-                           duration: float = 3.0,
-                           warmup: float = 0.5,
-                           seed: int = 0,
-                           latency_model: Optional[LatencyModel] = None,
-                           geo_distributed: bool = False,
-                           crash_schedule: Optional[CrashSchedule] = None,
-                           byzantine_nodes: Optional[frozenset[int]] = None,
-                           fault_controller: Optional[FaultController] = None,
-                           latency_trim: float = 0.0,
-                           setup: Optional[Callable[[Environment, Network, list], None]] = None,
-                           excluded_nodes: Optional[Iterable[int]] = None) -> ClusterResult:
-    """Deprecated alias for ``run_cluster(..., protocol="fireledger")``.
-
-    The historical FireLedger-only entry point; parameters and results are
-    identical to :func:`run_cluster` with the default protocol.
-    """
-    return run_cluster(config, protocol="fireledger", duration=duration,
-                       warmup=warmup, seed=seed, latency_model=latency_model,
-                       geo_distributed=geo_distributed,
-                       crash_schedule=crash_schedule,
-                       byzantine_nodes=byzantine_nodes,
-                       fault_controller=fault_controller,
-                       latency_trim=latency_trim, setup=setup,
-                       excluded_nodes=excluded_nodes)

@@ -68,6 +68,13 @@ class FireLedgerConfig:
     #: Saturated-load mode: top up every block with synthetic transactions.
     fill_blocks: bool = True
 
+    # --- multiplexed consensus lanes ----------------------------------------
+    #: Independent instances of the chosen protocol multiplexed over the one
+    #: shared network, each ordering a deterministic (sender-hashed) slice of
+    #: the workload; their delivery streams merge round-robin into one total
+    #: order.  1 = run the protocol unwrapped (the classic single pipeline).
+    lanes: int = 1
+
     # --- execution layer (account state machine at delivery) ----------------
     #: Apply delivered transactions to a per-node account state machine and
     #: maintain the rolling ``state_root`` oracle.  Off by default: opaque
@@ -112,6 +119,12 @@ class FireLedgerConfig:
             raise ValueError("metrics_horizon_rounds must be >= 0 (or None)")
         if self.pool_max_pending is not None and self.pool_max_pending < 1:
             raise ValueError("pool_max_pending must be >= 1 (or None)")
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if self.pool_max_pending is not None and self.pool_max_pending < self.lanes:
+            raise ValueError(
+                "pool_max_pending is a cluster-global budget split across "
+                f"lanes; {self.pool_max_pending} cannot cover {self.lanes} lanes")
         if self.execution_accounts < 1:
             raise ValueError("execution_accounts must be >= 1")
         if self.execution_initial_balance < 0:

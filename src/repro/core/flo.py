@@ -17,11 +17,11 @@ from repro.core.config import FireLedgerConfig
 from repro.core.fireledger import FireLedgerWorker
 from repro.crypto.keys import KeyStore
 from repro.ledger.block import Block
-from repro.ledger.state import LedgerExecutor
 from repro.ledger.transaction import Transaction
-from repro.metrics.recorder import EVENT_FLO_DELIVERY, MetricsRecorder
+from repro.metrics.recorder import MetricsRecorder
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.ledger.delivery import Delivery, DeliveryStream
 from repro.sim import Environment
 
 
@@ -61,14 +61,16 @@ class FLONode:
         # Round-robin delivery state.
         self._delivery_cursor = 0
         self._next_round = [0] * config.workers
-        self.delivered_blocks = 0
-        self.delivered_transactions = 0
         self.submitted_transactions = 0
-        #: Execution layer: delivered blocks are applied to the account state
-        #: machine in release order (None when execution is disabled).  The
-        #: round-robin merge delivers strictly before the chain may prune, so
-        #: every block executes exactly once and pruning never re-executes.
-        self.executor = LedgerExecutor.from_config(config)
+        #: The node's delivery seam: one Delivery per released block, in the
+        #: round-robin total order.  The cluster runner subscribes the
+        #: execution layer here; the recorder subscribes first so the E event
+        #: lands before any downstream consumer runs.
+        self.delivery_stream = DeliveryStream()
+        self.delivery_stream.subscribe(self.recorder.on_delivery)
+        #: Execution layer, attached by the cluster runner (None when running
+        #: standalone or with execution disabled).
+        self.executor = None
 
     # ------------------------------------------------------------------ wiring
     def _route(self, message: Message) -> None:
@@ -132,26 +134,34 @@ class FLONode:
             if worker.chain.is_definite(round_number):
                 block = worker.chain.block_at_round(round_number)
                 if block is not None:
-                    self.recorder.record_event(worker.worker_id, round_number,
-                                               EVENT_FLO_DELIVERY, self.env.now,
-                                               tx_count=block.tx_count)
-                    self.delivered_blocks += 1
-                    self.delivered_transactions += block.tx_count
-                    if self.executor is not None:
-                        # Apply before mark_released: execution must precede
-                        # the pruning this release unlocks.
-                        self.executor.apply_delivery(
-                            tag=block.digest,
-                            transactions=block.batch.transactions,
-                            tx_count=block.tx_count,
-                            proposer=block.proposer,
-                            now=self.env.now)
+                    # Deliver before mark_released: every stream consumer
+                    # (recorder, executor, lane merge) must observe the block
+                    # strictly before the pruning this release unlocks.
+                    self.delivery_stream.deliver(Delivery(
+                        tag=block.digest,
+                        transactions=block.batch.transactions,
+                        tx_count=block.tx_count,
+                        proposer=block.proposer,
+                        proposed_at=block.header.created_at,
+                        time=self.env.now,
+                        source=worker.worker_id,
+                        sequence=round_number))
                 worker.chain.mark_released(round_number)
                 self._next_round[self._delivery_cursor] = round_number + 1
                 self._delivery_cursor = (self._delivery_cursor + 1) % len(workers)
                 progressed = True
 
     # ------------------------------------------------------------- inspection
+    @property
+    def delivered_blocks(self) -> int:
+        """Blocks released to clients (the delivery stream's counter)."""
+        return self.delivery_stream.deliveries
+
+    @property
+    def delivered_transactions(self) -> int:
+        """Transactions released to clients (the delivery stream's counter)."""
+        return self.delivery_stream.transactions
+
     @property
     def rejected_transactions(self) -> int:
         """Pool-cap rejections across this node's workers."""

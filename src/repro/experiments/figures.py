@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cluster import run_cluster, run_fireledger_cluster
+from repro.core.cluster import run_cluster
 from repro.core.config import FireLedgerConfig
 from repro.crypto.cost_model import C5_4XLARGE, M5_XLARGE, CryptoCostModel
 from repro.experiments.harness import ExperimentScale
@@ -36,8 +36,8 @@ def table1_costs(scale: Optional[ExperimentScale] = None) -> list[dict]:
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=100, tx_size=512)
 
     # Fault-free: count per-round control messages and signature operations.
-    result = run_fireledger_cluster(config, duration=scale.duration,
-                                    warmup=scale.warmup, seed=scale.seed)
+    result = run_cluster(config, duration=scale.duration,
+                         warmup=scale.warmup, seed=scale.seed)
     rounds = max(result.fast_path_rounds // config.n_nodes, 1)
     votes = result.network.messages_of_kind("OBBC_VOTE")
     signatures = sum(worker.signatures_created for node in result.nodes
@@ -53,9 +53,9 @@ def table1_costs(scale: Optional[ExperimentScale] = None) -> list[dict]:
 
     # Omission failures: crash one node (benign), fallback path exercised.
     crash = CrashSchedule.crash_f_nodes(config.n_nodes, config.f, at=scale.warmup / 2)
-    degraded = run_fireledger_cluster(config, duration=scale.duration,
-                                      warmup=scale.warmup, seed=scale.seed,
-                                      crash_schedule=crash)
+    degraded = run_cluster(config, duration=scale.duration,
+                           warmup=scale.warmup, seed=scale.seed,
+                           crash_schedule=crash)
     rows.append({
         "mode": "omission/crash",
         "communication_steps": "2 + OBBC fallback",
@@ -67,9 +67,9 @@ def table1_costs(scale: Optional[ExperimentScale] = None) -> list[dict]:
     })
 
     # Byzantine failures: equivocation triggers RB + n parallel AB (recovery).
-    byzantine = run_fireledger_cluster(config, duration=scale.duration,
-                                       warmup=scale.warmup, seed=scale.seed,
-                                       byzantine_nodes=frozenset({config.n_nodes - 1}))
+    byzantine = run_cluster(config, duration=scale.duration,
+                            warmup=scale.warmup, seed=scale.seed,
+                            byzantine_nodes=frozenset({config.n_nodes - 1}))
     rows.append({
         "mode": "byzantine",
         "communication_steps": "RB + n parallel AB",
@@ -115,8 +115,8 @@ def figure06_bps_single_dc(scale: Optional[ExperimentScale] = None) -> list[dict
             config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                       batch_size=1, tx_size=512,
                                       fill_blocks=False)
-            result = run_fireledger_cluster(config, duration=scale.duration,
-                                            warmup=scale.warmup, seed=scale.seed)
+            result = run_cluster(config, duration=scale.duration,
+                                 warmup=scale.warmup, seed=scale.seed)
             rows.append({"n": n_nodes, "workers": workers,
                          "bps": round(result.bps, 1),
                          "expectation": "bps grows with workers, shrinks with n"})
@@ -133,9 +133,9 @@ def figure07_tps_single_dc(scale: Optional[ExperimentScale] = None) -> list[dict
                 for workers in scale.workers_sweep:
                     config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                               batch_size=batch_size, tx_size=tx_size)
-                    result = run_fireledger_cluster(config, duration=scale.duration,
-                                                    warmup=scale.warmup,
-                                                    seed=scale.seed)
+                    result = run_cluster(config, duration=scale.duration,
+                                         warmup=scale.warmup,
+                                         seed=scale.seed)
                     rows.append({"n": n_nodes, "batch": batch_size,
                                  "tx_size": tx_size, "workers": workers,
                                  "tps": round(result.tps),
@@ -155,8 +155,8 @@ def figure08_latency_cdf(scale: Optional[ExperimentScale] = None) -> list[dict]:
             for batch_size in scale.batch_sizes:
                 config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                           batch_size=batch_size, tx_size=512)
-                result = run_fireledger_cluster(config, duration=scale.duration,
-                                                warmup=scale.warmup, seed=scale.seed)
+                result = run_cluster(config, duration=scale.duration,
+                                     warmup=scale.warmup, seed=scale.seed)
                 rows.append({
                     "n": n_nodes, "workers": workers, "batch": batch_size,
                     "latency_p50_ms": round(result.latency.p50 * 1000, 1),
@@ -175,8 +175,8 @@ def figure09_latency_breakdown(scale: Optional[ExperimentScale] = None) -> list[
         for workers in scale.workers_sweep:
             config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                       batch_size=1000, tx_size=512)
-            result = run_fireledger_cluster(config, duration=scale.duration,
-                                            warmup=scale.warmup, seed=scale.seed)
+            result = run_cluster(config, duration=scale.duration,
+                                 warmup=scale.warmup, seed=scale.seed)
             # The breakdown also carries protocol counters (round outcomes,
             # signatures); only the A..E stage spans belong in this figure.
             stages = {key: value for key, value in result.breakdown.items()
@@ -201,10 +201,10 @@ def figure10_scalability(scale: Optional[ExperimentScale] = None,
         for workers in scale.workers_sweep[:2]:
             config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                       batch_size=batch_size, tx_size=512)
-            result = run_fireledger_cluster(config,
-                                            duration=max(scale.duration / 2, 0.2),
-                                            warmup=scale.warmup / 2,
-                                            seed=scale.seed)
+            result = run_cluster(config,
+                                 duration=max(scale.duration / 2, 0.2),
+                                 warmup=scale.warmup / 2,
+                                 seed=scale.seed)
             rows.append({"n": n_nodes, "batch": batch_size, "workers": workers,
                          "tps": round(result.tps), "bps": round(result.bps, 1),
                          "expectation": "around 60K tps in the paper; workers have little effect"})
@@ -225,10 +225,10 @@ def figure11_crash_failures(scale: Optional[ExperimentScale] = None) -> list[dic
                                           batch_size=batch_size, tx_size=512)
                 crash = CrashSchedule.crash_f_nodes(n_nodes, config.f,
                                                     at=scale.warmup / 2)
-                result = run_fireledger_cluster(config, duration=scale.duration,
-                                                warmup=scale.warmup,
-                                                seed=scale.seed,
-                                                crash_schedule=crash)
+                result = run_cluster(config, duration=scale.duration,
+                                     warmup=scale.warmup,
+                                     seed=scale.seed,
+                                     crash_schedule=crash)
                 rows.append({"n": n_nodes, "f_crashed": config.f,
                              "batch": batch_size, "workers": workers,
                              "tps": round(result.tps),
@@ -247,10 +247,10 @@ def figure12_byzantine_failures(scale: Optional[ExperimentScale] = None) -> list
                 config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                           batch_size=batch_size, tx_size=512)
                 byzantine = frozenset({n_nodes - 1})
-                result = run_fireledger_cluster(config, duration=scale.duration,
-                                                warmup=scale.warmup,
-                                                seed=scale.seed,
-                                                byzantine_nodes=byzantine)
+                result = run_cluster(config, duration=scale.duration,
+                                     warmup=scale.warmup,
+                                     seed=scale.seed,
+                                     byzantine_nodes=byzantine)
                 rows.append({"n": n_nodes, "batch": batch_size, "workers": workers,
                              "tps": round(result.tps),
                              "recoveries_per_sec": round(result.recoveries_per_second, 2),
@@ -270,9 +270,9 @@ def figure13_bps_multi_dc(scale: Optional[ExperimentScale] = None) -> list[dict]
         for workers in scale.workers_sweep:
             config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                       batch_size=1, tx_size=512, fill_blocks=False)
-            result = run_fireledger_cluster(config, duration=scale.duration * 2,
-                                            warmup=scale.warmup, seed=scale.seed,
-                                            geo_distributed=True)
+            result = run_cluster(config, duration=scale.duration * 2,
+                                 warmup=scale.warmup, seed=scale.seed,
+                                 geo_distributed=True)
             rows.append({"n": n_nodes, "workers": workers,
                          "bps": round(result.bps, 1),
                          "expectation": "well under 10% of the single-DC bps"})
@@ -288,10 +288,10 @@ def figure14_tps_multi_dc(scale: Optional[ExperimentScale] = None) -> list[dict]
             for workers in scale.workers_sweep:
                 config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                           batch_size=batch_size, tx_size=512)
-                result = run_fireledger_cluster(config, duration=scale.duration * 2,
-                                                warmup=scale.warmup,
-                                                seed=scale.seed,
-                                                geo_distributed=True)
+                result = run_cluster(config, duration=scale.duration * 2,
+                                     warmup=scale.warmup,
+                                     seed=scale.seed,
+                                     geo_distributed=True)
                 rows.append({"n": n_nodes, "batch": batch_size, "workers": workers,
                              "tps": round(result.tps),
                              "expectation": "around 30K tps at the paper's best configuration"})
@@ -307,11 +307,11 @@ def figure15_latency_multi_dc(scale: Optional[ExperimentScale] = None) -> list[d
             for batch_size in scale.batch_sizes:
                 config = FireLedgerConfig(n_nodes=n_nodes, workers=workers,
                                           batch_size=batch_size, tx_size=512)
-                result = run_fireledger_cluster(config, duration=scale.duration * 2,
-                                                warmup=scale.warmup,
-                                                seed=scale.seed,
-                                                geo_distributed=True,
-                                                latency_trim=0.05)
+                result = run_cluster(config, duration=scale.duration * 2,
+                                     warmup=scale.warmup,
+                                     seed=scale.seed,
+                                     geo_distributed=True,
+                                     latency_trim=0.05)
                 rows.append({"n": n_nodes, "workers": workers, "batch": batch_size,
                              "latency_mean_s": round(result.latency.mean, 3),
                              "latency_p95_s": round(result.latency.p95, 3),
@@ -328,8 +328,8 @@ def _flo_on_c5(n_nodes: int, batch_size: int, tx_size: int,
     config = FireLedgerConfig(n_nodes=n_nodes, workers=min(8, max(scale.workers_sweep)),
                               batch_size=batch_size, tx_size=tx_size,
                               f=f, machine=C5_4XLARGE)
-    result = run_fireledger_cluster(config, duration=scale.duration,
-                                    warmup=scale.warmup, seed=scale.seed)
+    result = run_cluster(config, duration=scale.duration,
+                         warmup=scale.warmup, seed=scale.seed)
     return {"tps": result.tps, "latency": result.latency.mean}
 
 

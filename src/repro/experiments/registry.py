@@ -31,7 +31,10 @@ AXIS_TX = "tx_size"
 AXIS_WORKERS = "workers"
 #: Consensus protocol axis — string-valued (names from :mod:`repro.protocols`).
 AXIS_PROTOCOL = "protocol"
-AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS, AXIS_PROTOCOL)
+#: Multiplexed-consensus lane count (scenario drivers only).
+AXIS_LANES = "lanes"
+AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS, AXIS_PROTOCOL,
+        AXIS_LANES)
 
 
 @dataclass(frozen=True)
@@ -264,10 +267,11 @@ def _register_all() -> None:
 def _register_scenarios() -> None:
     """Register every shipped declarative scenario as ``scenario:<name>``.
 
-    Scenario drivers take ``n_nodes`` / ``workers`` / ``protocol`` as scalar
-    keyword axes, so ``repro sweep scenario:<name> --cluster-sizes 4,7`` and
-    ``repro sweep scenario:<name> --protocol fireledger,hotstuff`` sweep the
-    same spec with the usual resume/--jobs machinery.
+    Scenario drivers take ``n_nodes`` / ``workers`` / ``protocol`` /
+    ``lanes`` as scalar keyword axes, so ``repro sweep scenario:<name>
+    --cluster-sizes 4,7``, ``--protocol fireledger,hotstuff`` and
+    ``--lanes 1,4`` sweep the same spec with the usual resume/--jobs
+    machinery.
     """
     from repro.scenarios import library as scenario_library
 
@@ -279,11 +283,13 @@ def _register_scenarios() -> None:
             title=f"Scenario — {name}",
             axes={AXIS_CLUSTER: _kwarg_axis("n_nodes"),
                   AXIS_WORKERS: _kwarg_axis("workers"),
-                  AXIS_PROTOCOL: _kwarg_axis("protocol")},
+                  AXIS_PROTOCOL: _kwarg_axis("protocol"),
+                  AXIS_LANES: _kwarg_axis("lanes")},
             pins_duration=True,
             axis_defaults={AXIS_CLUSTER: spec.n_nodes,
                            AXIS_WORKERS: spec.workers,
-                           AXIS_PROTOCOL: spec.protocol}))
+                           AXIS_PROTOCOL: spec.protocol,
+                           AXIS_LANES: spec.lanes.count}))
 
 
 _register_all()

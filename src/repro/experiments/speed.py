@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.core.cluster import run_fireledger_cluster
+from repro.core.cluster import run_cluster
 from repro.core.config import FireLedgerConfig
 from repro.experiments.harness import ExperimentScale
 from repro.net.latency import SingleDatacenterLatency
@@ -52,8 +52,8 @@ def _best_of(repeats: int, fn) -> float:
 
 def _run_fig10_point(n_nodes: int, seed: int) -> None:
     config = FireLedgerConfig(n_nodes=n_nodes, **FIG10_POINT)
-    run_fireledger_cluster(config, duration=FIG10_DURATION,
-                           warmup=FIG10_WARMUP, seed=seed)
+    run_cluster(config, duration=FIG10_DURATION,
+                warmup=FIG10_WARMUP, seed=seed)
 
 
 def _run_broadcast_storm(n_nodes: int) -> None:

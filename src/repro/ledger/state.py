@@ -189,6 +189,22 @@ class LedgerExecutor:
         self.deliveries += 1
         self._history.append((tag, self.state_root))
 
+    def on_delivery(self, delivery) -> None:
+        """Delivery-stream consumer: execute one released block.
+
+        The cluster runner subscribes this to each node's
+        :class:`~repro.protocols.base.DeliveryStream`, so every protocol's
+        commit path feeds the execution layer through the same seam.
+        Subscription order preserves the pruning invariant: the executor is
+        subscribed before any release bookkeeping that could unlock pruning
+        runs, so a block always executes strictly before it may be dropped.
+        """
+        self.apply_delivery(tag=delivery.tag,
+                            transactions=delivery.transactions,
+                            tx_count=delivery.tx_count,
+                            proposer=delivery.proposer,
+                            now=delivery.time)
+
     # ------------------------------------------------------------ inspection
     @property
     def oldest_recorded(self) -> int:

@@ -187,6 +187,20 @@ class MetricsRecorder:
         if self.streaming and event == EVENT_FLO_DELIVERY:
             self._fold(self._blocks.pop((worker_id, round_number)))
 
+    def on_delivery(self, delivery) -> None:
+        """Delivery-stream consumer: record the block's E (release) event.
+
+        Subscribed to a node's :class:`~repro.protocols.base.DeliveryStream`,
+        so the recorder observes releases through the same seam as the
+        execution layer instead of a hand-placed ``record_event`` call inside
+        the protocol's merge loop.  ``delivery.source``/``delivery.sequence``
+        carry the (worker, round) provenance the A..D events were recorded
+        under.
+        """
+        self.record_event(delivery.source, delivery.sequence,
+                          EVENT_FLO_DELIVERY, delivery.time,
+                          tx_count=delivery.tx_count)
+
     def discard_block(self, worker_id: int, round_number: int) -> None:
         """Forget a block rescinded by recovery (it never counts as decided)."""
         self._blocks.pop((worker_id, round_number), None)

@@ -27,7 +27,7 @@ _EXPECTATION_KEYS = ("expectation",)
 #: section instead of every per-experiment table.
 _EXECUTION_COLUMNS = (
     "state_root", "state_deliveries", "tx_applied", "tx_stale",
-    "tx_invalid", "tx_conflicts", "proposer_bias",
+    "tx_invalid", "tx_conflicts", "proposer_bias", "lane_skew",
     "sender_p50_spread_ms", "sender_p99_spread_ms",
 )
 
@@ -40,6 +40,7 @@ _PARAM_ROW_ECHOES = {
     "tx_size": ("tx_size",),
     "workers": ("workers",),
     "protocol": ("protocol",),
+    "lanes": ("lanes",),
 }
 
 
@@ -175,9 +176,10 @@ def markdown_table(rows: Sequence[Mapping],
 
 
 # Identifying columns a protocol-comparison row is grouped by, and the
-# metrics it pivots per protocol.
+# metrics it pivots per protocol.  ``lanes`` is identifying: a lanes=4 run
+# is a different configuration from the lanes=1 run of the same scenario.
 _COMPARISON_ID_COLUMNS = ("scenario", "n", "workers", "batch", "tx_size",
-                          "workload", "seed")
+                          "workload", "lanes", "seed")
 _COMPARISON_BASELINE = "fireledger"
 
 
@@ -325,7 +327,7 @@ def fairness_rows(results: Mapping[str, Sequence[Mapping]]) -> list[dict]:
             if "state_root" not in row:
                 continue
             picked: dict = {"experiment": name}
-            for key in ("protocol", "n", "workers", "workload"):
+            for key in ("protocol", "lanes", "n", "workers", "workload"):
                 if key in row:
                     picked[key] = row[key]
             for key in _EXECUTION_COLUMNS:
@@ -358,7 +360,10 @@ def render_fairness_section(results: Mapping[str, Sequence[Mapping]]) -> str:
         "spread of per-sender commit-latency percentiles (0 = every sender",
         "served alike), and `proposer_bias` is the largest per-proposer",
         "share of delivered transactions scaled by cluster size (1.0 = fair",
-        "rotation, n = one static leader proposes everything).",
+        "rotation, n = one static leader proposes everything).  Runs with",
+        "`lanes` > 1 also report `lane_skew`: the largest per-lane share of",
+        "committed transactions scaled by lane count (1.0 = perfectly even",
+        "slicing, M = all traffic hashed to one lane).",
         "",
         markdown_table(rows),
         "",
@@ -377,9 +382,11 @@ def _scenario_preamble() -> list[str]:
         "(`src/repro/scenarios/`): one spec composes a WAN topology, a",
         "workload shape and a fault timeline, and runs via",
         "`python -m repro run scenario:<name>` (sweepable over",
-        "`--cluster-sizes` / `--workers` / `--protocol` like any",
-        "experiment; every scenario runs under any registered consensus",
-        "protocol — fireledger, hotstuff, bftsmart).  Shipped:",
+        "`--cluster-sizes` / `--workers` / `--protocol` / `--lanes` like",
+        "any experiment; every scenario runs under any registered consensus",
+        "protocol — fireledger, hotstuff, bftsmart — and `--lanes M`",
+        "multiplexes M independent instances of it over the same cluster,",
+        "merged into one total order).  Shipped:",
         "",
     ]
     for name in library.names():

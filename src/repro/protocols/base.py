@@ -12,14 +12,23 @@ needs to evaluate one BFT ordering protocol on the shared simulated substrate:
   :class:`NodeMetrics` shape the runner aggregates into a
   :class:`~repro.core.cluster.ClusterResult`.
 
-The runner owns *all* the wiring that used to be copy-pasted between
-``run_fireledger_cluster``, ``HotStuffCluster`` and ``BFTSmartCluster``:
-seeding, latency model selection, the :class:`~repro.net.network.Network`,
-the :class:`~repro.crypto.keys.KeyStore`, crash/recover schedules, network
-fault controllers, workload attachment and metric aggregation.  A new
-protocol is therefore a ~200-line module implementing this contract plus a
-:func:`register` call — it immediately gains WAN topologies, fault timelines,
-client workloads, ``--jobs`` sweeps and the EXPERIMENTS.md report.
+The runner owns *all* the wiring that used to be copy-pasted between the
+retired per-protocol cluster helpers: seeding, latency model selection, the
+:class:`~repro.net.network.Network`, the :class:`~repro.crypto.keys.KeyStore`,
+crash/recover schedules, network fault controllers, workload attachment and
+metric aggregation.  A new protocol is therefore a ~200-line module
+implementing this contract plus a :func:`register` call — it immediately
+gains WAN topologies, fault timelines, client workloads, ``--jobs`` sweeps
+and the EXPERIMENTS.md report.
+
+Delivery flows through an explicit seam: every node exposes a
+:class:`DeliveryStream` (via :meth:`ConsensusProtocol.delivery_stream`) onto
+which it pushes one :class:`Delivery` per committed block, in its local total
+order.  Consumers — the per-node :class:`~repro.ledger.state.LedgerExecutor`,
+metric counters, and the lane merge of :mod:`repro.protocols.multiplexed` —
+subscribe to the stream instead of being hand-called from inside each
+protocol's commit callback.  Single-lane protocols are the trivial one-stream
+case; ``multiplexed(P, lanes=M)`` merges M of them.
 
 Nodes that should carry client workloads (``fill_blocks=False`` configs)
 additionally expose the small duck-typed surface the workload clients in
@@ -31,14 +40,23 @@ from __future__ import annotations
 
 import abc
 import random
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.ledger.delivery import Delivery, DeliveryStream
 
 if TYPE_CHECKING:
     from repro.core.config import FireLedgerConfig
     from repro.crypto.keys import KeyStore
     from repro.net.network import Network
     from repro.sim import Environment
+
+__all__ = [
+    "ConsensusProtocol", "Delivery", "DeliveryStream", "NodeMetrics",
+    "SharedTxPool", "committed_node_metrics", "get", "names", "register",
+    "resolve",
+]
 
 
 @dataclass
@@ -118,6 +136,16 @@ class ConsensusProtocol(abc.ABC):
     def recorder_of(self, node) -> Optional[object]:
         """The node's :class:`~repro.metrics.recorder.MetricsRecorder`, if any."""
         return getattr(node, "recorder", None)
+
+    def delivery_stream(self, node) -> Optional[DeliveryStream]:
+        """The node's :class:`DeliveryStream`, if it exposes one.
+
+        The cluster runner subscribes the per-node execution layer here
+        (uniformly, for every protocol) and the ``multiplexed`` meta-protocol
+        merges the lanes' streams through it.  None means the node does not
+        publish deliveries (no execution, no lane composition).
+        """
+        return getattr(node, "delivery_stream", None)
 
     def executor_of(self, node) -> Optional[object]:
         """The node's :class:`~repro.ledger.state.LedgerExecutor`, if any.
@@ -232,11 +260,29 @@ def names() -> list[str]:
     return list(_PROTOCOLS)
 
 
+#: Dynamic protocol spelling: ``multiplexed(<base>, lanes=<M>)``.
+_MULTIPLEXED_NAME = re.compile(
+    r"^multiplexed\(\s*(?P<base>[a-z0-9_-]+)\s*,\s*lanes\s*=\s*(?P<lanes>\d+)\s*\)$")
+
+
 def get(name: str) -> ConsensusProtocol:
-    """Look up a registered protocol by name."""
+    """Look up a registered protocol by name.
+
+    Besides the registered names, the dynamic spelling
+    ``multiplexed(<base>, lanes=<M>)`` resolves to a
+    :class:`~repro.protocols.multiplexed.MultiplexedProtocol` over the
+    registered base protocol.
+    """
     try:
         return _PROTOCOLS[name]
     except KeyError:
+        match = _MULTIPLEXED_NAME.match(name.strip())
+        if match is not None:
+            # Local import: the multiplexed module builds on this one.
+            from repro.protocols.multiplexed import MultiplexedProtocol
+
+            return MultiplexedProtocol(get(match.group("base")),
+                                       lanes=int(match.group("lanes")))
         raise KeyError(f"unknown protocol {name!r}; "
                        f"known: {', '.join(names())}") from None
 

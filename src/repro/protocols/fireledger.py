@@ -1,8 +1,8 @@
 """FireLedger under the pluggable-protocol contract.
 
-The node factory builds the same :class:`~repro.core.flo.FLONode` deployment
-``run_fireledger_cluster`` always built (including the equivocating-worker
-factory for Byzantine membership); the metric hook reads the node's
+The node factory builds the classic :class:`~repro.core.flo.FLONode`
+deployment (including the equivocating-worker factory for Byzantine
+membership); the metric hook reads the node's
 :class:`~repro.metrics.recorder.MetricsRecorder` exactly as the old
 FireLedger-only aggregation loop did, so results are unchanged — they just
 flow through the protocol-agnostic :class:`~repro.protocols.base.NodeMetrics`

@@ -6,7 +6,6 @@ from typing import Sequence
 
 from repro.baselines.hotstuff import HotStuffReplica
 from repro.crypto.cost_model import CryptoCostModel
-from repro.ledger.state import LedgerExecutor
 from repro.protocols.base import (
     ConsensusProtocol,
     NodeMetrics,
@@ -44,8 +43,6 @@ class HotStuffProtocol(ConsensusProtocol):
                             silent=node_id in byzantine_nodes)
             for node_id in range(config.n_nodes)
         ]
-        for replica in replicas:
-            replica.executor = LedgerExecutor.from_config(config)
         return replicas
 
     def start(self, nodes: Sequence[HotStuffReplica]) -> None:

@@ -41,20 +41,24 @@ def run_scenario(spec: ScenarioSpec,
                  n_nodes: Optional[int] = None,
                  workers: Optional[int] = None,
                  protocol: Optional[str] = None,
+                 lanes: Optional[int] = None,
                  seed: Optional[int] = None) -> list[dict]:
     """Run one scenario; returns one result row (as a single-item list).
 
-    ``n_nodes`` / ``workers`` / ``protocol`` override the spec (that is how
-    the registry's ``cluster_size`` / ``workers`` / ``protocol`` sweep axes
-    reach a scenario); ``seed`` defaults to the scale's seed.  Durations come
-    from the spec, not the scale — fault phase times are absolute simulated
-    seconds, so shrinking the run would silently skip scheduled faults.
+    ``n_nodes`` / ``workers`` / ``protocol`` / ``lanes`` override the spec
+    (that is how the registry's ``cluster_size`` / ``workers`` / ``protocol``
+    / ``lanes`` sweep axes reach a scenario); ``seed`` defaults to the
+    scale's seed.  Durations come from the spec, not the scale — fault phase
+    times are absolute simulated seconds, so shrinking the run would
+    silently skip scheduled faults.
     """
     if scale is None:
         # Local import: repro.experiments pulls in the registry, which in
         # turn imports this package to register the scenario library.
         from repro.experiments.harness import ExperimentScale
         scale = ExperimentScale()
+    from repro.scenarios.spec import LanesSpec
+
     overrides = {}
     if n_nodes is not None:
         overrides["n_nodes"] = n_nodes
@@ -62,6 +66,8 @@ def run_scenario(spec: ScenarioSpec,
         overrides["workers"] = workers
     if protocol is not None:
         overrides["protocol"] = protocol
+    if lanes is not None:
+        overrides["lanes"] = LanesSpec(count=lanes)
     if overrides:
         spec = spec.with_overrides(**overrides)  # re-validates fault node ids
     seed = scale.seed if seed is None else seed
@@ -75,14 +81,15 @@ def run_scenario(spec: ScenarioSpec,
         execution_initial_balance=spec.execution.initial_balance,
         retention_rounds=spec.retention.chain_rounds,
         metrics_horizon_rounds=spec.retention.metrics_horizon_rounds,
-        pool_max_pending=spec.pool.max_pending)
+        pool_max_pending=spec.pool.max_pending,
+        lanes=spec.lanes.count)
     config_overrides = dict(spec.config_overrides)
     # An override shadowing a first-class spec field would desynchronise the
     # actual run from the recorded row / sweep axes; the memory knobs are the
     # exception (config_overrides may retune what retention/pool set).
     clash = sorted(set(config_overrides)
                    & {"n_nodes", "workers", "batch_size", "tx_size",
-                      "fill_blocks", "execute_transactions"})
+                      "fill_blocks", "execute_transactions", "lanes"})
     if clash:
         raise ValueError(
             f"config_overrides may not shadow first-class scenario fields "
@@ -126,12 +133,13 @@ def run_scenario(spec: ScenarioSpec,
         "batch": spec.batch_size,
         "tx_size": spec.workload.tx_size if not spec.workload.fill_blocks else spec.tx_size,
         "workload": spec.workload.shape,
+        "lanes": spec.lanes.count,
         "tps": round(result.tps, 1),
         "bps": round(result.bps, 2),
         "latency_p50_ms": round(result.latency.p50 * 1000, 1),
         "latency_p95_ms": round(result.latency.p95 * 1000, 1),
     }
-    if spec.protocol == "fireledger":
+    if spec.protocol == "fireledger" and spec.lanes.count == 1:
         # Historical column names, kept stable for recorded results.
         row["fast_rounds"] = result.fast_path_rounds
         row["fallback_rounds"] = result.fallback_rounds
@@ -139,12 +147,21 @@ def run_scenario(spec: ScenarioSpec,
         row["recoveries"] = result.recoveries
     else:
         # Other protocols report their own counters (skipped views, committed
-        # blocks...) straight from the unified breakdown.
+        # blocks...) straight from the unified breakdown.  Lane-qualified
+        # counters get their dedicated block below.
         for key, value in sorted(result.breakdown.items()):
-            if ("->" in key or key in _ROW_COVERED_COUNTERS
+            if ("->" in key or key.startswith("lane")
+                    or key in _ROW_COVERED_COUNTERS
                     or key in _EXECUTION_COUNTERS or key in _FAIRNESS_METRICS):
                 continue
             row[key] = round(value, 2)
+    if spec.lanes.count > 1:
+        if "lane_skew" in result.breakdown:
+            row["lane_skew"] = round(result.breakdown["lane_skew"], 3)
+        for lane in range(spec.lanes.count):
+            key = f"lane{lane}_tx_rejected"
+            if key in result.breakdown:
+                row[key] = int(round(result.breakdown[key]))
     row["msgs_dropped"] = result.network.messages_dropped
     if spec.execution.enabled:
         # The agreed common-prefix root (the oracle already raised if any two
@@ -162,14 +179,17 @@ def run_scenario(spec: ScenarioSpec,
     if spec.retention.bounded and spec.protocol == "fireledger":
         # Live-state watermarks for the soak/memfootprint accounting: the
         # largest per-worker live chain and per-node live record counts at
-        # run end, which the retention window must bound.
+        # run end, which the retention window must bound.  Lanes > 1 wraps
+        # each FLO node in a MultiplexedNode; unwrap for the inner view.
+        flo_nodes = [inner for node in result.nodes
+                     for inner in getattr(node, "lanes", [node])]
         row["live_blocks"] = max(
-            (len(worker.chain) for node in result.nodes
+            (len(worker.chain) for node in flo_nodes
              for worker in node.workers), default=0)
         row["live_records"] = max(
-            (node.recorder.live_records for node in result.nodes), default=0)
+            (node.recorder.live_records for node in flo_nodes), default=0)
         row["pruned_blocks"] = max(
-            (worker.chain.summary.blocks for node in result.nodes
+            (worker.chain.summary.blocks for node in flo_nodes
              for worker in node.workers), default=0)
     if workload_box:
         workload = workload_box[0]

@@ -450,6 +450,32 @@ class PoolSpec:
         return f"max {self.max_pending} pending"
 
 
+# --------------------------------------------------------------------- lanes
+@dataclass(frozen=True)
+class LanesSpec:
+    """Multiplexed consensus lanes (see :mod:`repro.protocols.multiplexed`).
+
+    ``count`` independent instances of the scenario's protocol share the one
+    simulated network, each ordering the (sender-hashed) slice of the
+    workload assigned to it; their delivery streams merge round-robin into
+    one total order.  1 = the classic single pipeline.
+    """
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("lanes count must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LanesSpec":
+        _check_unknown(data, cls)
+        return cls(**data)
+
+    def summary(self) -> str:
+        return f"{self.count} multiplexed lane(s)"
+
+
 # ------------------------------------------------------------------ scenario
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -479,6 +505,8 @@ class ScenarioSpec:
     retention: RetentionSpec = field(default_factory=RetentionSpec)
     #: Transaction-pool admission control (backlog cap + rejection counting).
     pool: PoolSpec = field(default_factory=PoolSpec)
+    #: Multiplexed consensus lanes (1 = run the protocol unwrapped).
+    lanes: LanesSpec = field(default_factory=LanesSpec)
     #: Extra ``FireLedgerConfig`` fields, e.g. ``(("permute_every", 16),)``.
     config_overrides: tuple[tuple[str, Any], ...] = ()
 
@@ -487,12 +515,16 @@ class ScenarioSpec:
             raise ValueError("a scenario needs a name")
         from repro import protocols  # lazy: the registry imports this module
 
-        if self.protocol not in protocols.names():
+        try:
+            # Resolves registered names and the dynamic spelling
+            # ``multiplexed(<base>, lanes=<M>)`` alike.
+            impl = protocols.get(self.protocol)
+        except KeyError:
             raise ValueError(f"unknown protocol {self.protocol!r}; "
-                             f"known: {', '.join(protocols.names())}")
-        if self.n_nodes < protocols.get(self.protocol).min_nodes:
+                             f"known: {', '.join(protocols.names())}") from None
+        if self.n_nodes < impl.min_nodes:
             raise ValueError(f"{self.protocol} scenarios need n_nodes >= "
-                             f"{protocols.get(self.protocol).min_nodes}")
+                             f"{impl.min_nodes}")
         if self.duration <= 0 or not 0 <= self.warmup < self.duration:
             raise ValueError("require duration > 0 and 0 <= warmup < duration")
         self.faults.validate(self.n_nodes)
@@ -512,6 +544,11 @@ class ScenarioSpec:
             kwargs["retention"] = RetentionSpec.from_dict(kwargs["retention"])
         if "pool" in kwargs and not isinstance(kwargs["pool"], PoolSpec):
             kwargs["pool"] = PoolSpec.from_dict(kwargs["pool"])
+        if "lanes" in kwargs and not isinstance(kwargs["lanes"], LanesSpec):
+            lanes = kwargs["lanes"]
+            # Accept both [lanes] count = M and a bare integer.
+            kwargs["lanes"] = (LanesSpec(count=lanes) if isinstance(lanes, int)
+                               else LanesSpec.from_dict(lanes))
         faults = kwargs.get("faults")
         if faults is not None and not isinstance(faults, FaultSchedule):
             # Accept both {"phases": [...]} and a bare phase list.
@@ -558,4 +595,6 @@ class ScenarioSpec:
             summary["retention"] = self.retention.summary()
         if self.pool.max_pending is not None:
             summary["pool"] = self.pool.summary()
+        if self.lanes.count > 1:
+            summary["lanes"] = self.lanes.summary()
         return summary

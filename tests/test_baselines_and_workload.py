@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import run_bftsmart_cluster, run_hotstuff_cluster
+from repro.core.cluster import run_cluster
 from repro.core.config import FireLedgerConfig
 from repro.core.flo import FLONode
 from repro.crypto.cost_model import C5_4XLARGE
@@ -16,16 +16,23 @@ import random
 DURATION = 1.0
 
 
+def _baseline(protocol, n_nodes, batch_size, tx_size,
+              duration=DURATION, seed=0):
+    """Run a baseline on the paper's c5.4xlarge machine via run_cluster."""
+    config = FireLedgerConfig(n_nodes=n_nodes, batch_size=batch_size,
+                              tx_size=tx_size, machine=C5_4XLARGE)
+    return run_cluster(config, protocol=protocol, duration=duration,
+                       warmup=min(0.2, duration / 2), seed=seed)
+
+
 @pytest.fixture(scope="module")
 def hotstuff_result():
-    return run_hotstuff_cluster(4, batch_size=100, tx_size=512,
-                                duration=DURATION, seed=2)
+    return _baseline("hotstuff", 4, batch_size=100, tx_size=512, seed=2)
 
 
 @pytest.fixture(scope="module")
 def bftsmart_result():
-    return run_bftsmart_cluster(4, batch_size=100, tx_size=512,
-                                duration=DURATION, seed=2)
+    return _baseline("bftsmart", 4, batch_size=100, tx_size=512, seed=2)
 
 
 def test_hotstuff_commits_blocks(hotstuff_result):
@@ -48,29 +55,26 @@ def test_bftsmart_commits_blocks(bftsmart_result):
 def test_baseline_throughput_ordering_matches_paper():
     """Figure 16/17 shape: at n=10 HotStuff is at least on par with BFT-SMaRt
     (the quadratic write/accept exchanges start to hurt BFT-SMaRt)."""
-    hotstuff = run_hotstuff_cluster(10, batch_size=100, tx_size=512,
-                                    duration=DURATION, seed=2)
-    bftsmart = run_bftsmart_cluster(10, batch_size=100, tx_size=512,
-                                    duration=DURATION, seed=2)
+    hotstuff = _baseline("hotstuff", 10, batch_size=100, tx_size=512, seed=2)
+    bftsmart = _baseline("bftsmart", 10, batch_size=100, tx_size=512, seed=2)
     assert hotstuff.tps >= bftsmart.tps * 0.85
 
 
 def test_baselines_scale_down_with_cluster_size():
-    small = run_hotstuff_cluster(4, 100, 512, duration=DURATION, seed=3)
-    large = run_hotstuff_cluster(16, 100, 512, duration=DURATION, seed=3)
+    small = _baseline("hotstuff", 4, 100, 512, seed=3)
+    large = _baseline("hotstuff", 16, 100, 512, seed=3)
     assert large.bps <= small.bps
 
 
 def test_baselines_require_minimum_cluster():
     with pytest.raises(ValueError):
-        run_hotstuff_cluster(3, 10, 512)
+        _baseline("hotstuff", 3, 10, 512)
     with pytest.raises(ValueError):
-        run_bftsmart_cluster(2, 10, 512)
+        _baseline("bftsmart", 2, 10, 512)
 
 
 def test_baseline_result_rates():
-    result = run_bftsmart_cluster(4, batch_size=50, tx_size=512,
-                                  duration=DURATION, seed=4)
+    result = _baseline("bftsmart", 4, batch_size=50, tx_size=512, seed=4)
     assert result.tps == pytest.approx(result.bps * 50, rel=0.01)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import FireLedgerConfig, run_fireledger_cluster
+from repro import FireLedgerConfig, run_cluster
 from repro.core.failure_detector import BenignFailureDetector
 from repro.faults import ByzantineEquivocatorWorker, CrashSchedule, byzantine_worker_factory
 
@@ -10,8 +10,8 @@ from repro.faults import ByzantineEquivocatorWorker, CrashSchedule, byzantine_wo
 @pytest.fixture(scope="module")
 def byzantine_result():
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    return run_fireledger_cluster(config, duration=1.5, warmup=0.2, seed=13,
-                                  byzantine_nodes=frozenset({3}))
+    return run_cluster(config, duration=1.5, warmup=0.2, seed=13,
+                       byzantine_nodes=frozenset({3}))
 
 
 def test_equivocation_triggers_recoveries(byzantine_result):
@@ -36,16 +36,16 @@ def test_progress_continues_despite_equivocation():
     thousands of transactions per second (measured at n=10 where the
     Byzantine node proposes 10% of the rounds, as in the paper's setup)."""
     config = FireLedgerConfig(n_nodes=10, workers=1, batch_size=100, tx_size=512)
-    result = run_fireledger_cluster(config, duration=1.0, warmup=0.2, seed=5,
-                                    byzantine_nodes=frozenset({9}))
+    result = run_cluster(config, duration=1.0, warmup=0.2, seed=5,
+                         byzantine_nodes=frozenset({9}))
     assert result.tps > 1000
     assert result.recoveries > 0
 
 
 def test_byzantine_worker_splits_cluster_into_two_groups():
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    result = run_fireledger_cluster(config, duration=0.4, warmup=0.1, seed=3,
-                                    byzantine_nodes=frozenset({0}))
+    result = run_cluster(config, duration=0.4, warmup=0.1, seed=3,
+                         byzantine_nodes=frozenset({0}))
     byzantine_node = result.nodes[0]
     worker = byzantine_node.workers[0]
     assert isinstance(worker, ByzantineEquivocatorWorker)
@@ -57,8 +57,8 @@ def test_byzantine_worker_splits_cluster_into_two_groups():
 def test_byzantine_factory_only_affects_listed_nodes():
     factory = byzantine_worker_factory(frozenset({2}))
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    result = run_fireledger_cluster(config, duration=0.3, warmup=0.1, seed=3,
-                                    byzantine_nodes=frozenset({2}))
+    result = run_cluster(config, duration=0.3, warmup=0.1, seed=3,
+                         byzantine_nodes=frozenset({2}))
     for node in result.nodes:
         is_byz = isinstance(node.workers[0], ByzantineEquivocatorWorker)
         assert is_byz == (node.node_id == 2)

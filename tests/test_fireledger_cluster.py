@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import FireLedgerConfig, run_fireledger_cluster
+from repro import FireLedgerConfig, run_cluster
 from repro.faults.crash import CrashSchedule
 from repro.metrics.recorder import EVENT_TENTATIVE_DECISION
 
@@ -85,16 +85,16 @@ def test_latency_and_breakdown_populated(fault_free_result):
 
 def test_deterministic_given_seed():
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    first = run_fireledger_cluster(config, duration=0.3, warmup=0.05, seed=11)
-    second = run_fireledger_cluster(config, duration=0.3, warmup=0.05, seed=11)
+    first = run_cluster(config, duration=0.3, warmup=0.05, seed=11)
+    second = run_cluster(config, duration=0.3, warmup=0.05, seed=11)
     assert first.tps == pytest.approx(second.tps)
     assert first.network.messages_sent == second.network.messages_sent
 
 
 def test_different_seed_changes_low_level_timing():
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
-    first = run_fireledger_cluster(config, duration=0.3, warmup=0.05, seed=1)
-    second = run_fireledger_cluster(config, duration=0.3, warmup=0.05, seed=2)
+    first = run_cluster(config, duration=0.3, warmup=0.05, seed=1)
+    second = run_cluster(config, duration=0.3, warmup=0.05, seed=2)
     assert first.latency.mean != second.latency.mean
 
 
@@ -134,14 +134,14 @@ def test_non_triviality_under_client_load_only():
     """With fill_blocks=False only client transactions are ordered."""
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=50, tx_size=512,
                               fill_blocks=False)
-    result = run_fireledger_cluster(config, duration=DURATION, warmup=0.0, seed=6)
+    result = run_cluster(config, duration=DURATION, warmup=0.0, seed=6)
     node = result.nodes[0]
     submitted = [node.submit_transaction(client_id=1) for _ in range(20)]
     # Transactions submitted after the run ended stay pending; re-run a fresh
     # cluster with load injected up front instead.
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=50, tx_size=512,
                               fill_blocks=False)
-    result = run_fireledger_cluster(config, duration=DURATION, warmup=0.0, seed=6)
+    result = run_cluster(config, duration=DURATION, warmup=0.0, seed=6)
     for node in result.nodes:
         for _ in range(10):
             node.submit_transaction(client_id=2)

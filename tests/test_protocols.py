@@ -1,19 +1,18 @@
 """Tests of the protocol-pluggable cluster API (`repro.protocols`).
 
 Covers the `ConsensusProtocol` registry, the generalized `run_cluster`
-wiring, the deprecated aliases, cross-protocol determinism, the HotStuff
-view-timeout regression, the protocol sweep axis, and the head-to-head
-report table.
+wiring, cross-protocol determinism, the HotStuff view-timeout regression,
+the protocol sweep axis, and the head-to-head report table.
 """
 
 import random
 
 import pytest
 
-from repro import FireLedgerConfig, run_cluster, run_fireledger_cluster
+from repro import FireLedgerConfig, run_cluster
 from repro import protocols
-from repro.baselines import run_bftsmart_cluster, run_hotstuff_cluster
 from repro.baselines.hotstuff import COMMIT_DEPTH
+from repro.crypto.cost_model import C5_4XLARGE
 from repro.experiments import registry
 from repro.experiments.harness import ExperimentScale
 from repro.experiments.sweep import config_id
@@ -61,43 +60,29 @@ def test_run_cluster_commits_under_every_protocol(protocol, cluster_result):
             result.blocks_committed * 100, rel=0.01)
 
 
-def test_fireledger_alias_is_equivalent():
-    config = FireLedgerConfig(n_nodes=4, batch_size=100, tx_size=512)
-    via_alias = run_fireledger_cluster(config, duration=0.5, warmup=0.1, seed=5)
-    via_protocol = run_cluster(config, protocol="fireledger", duration=0.5,
-                               warmup=0.1, seed=5)
-    assert via_alias.tps == via_protocol.tps
-    assert via_alias.breakdown == via_protocol.breakdown
+def test_deprecated_cluster_aliases_are_gone():
+    """The pre-protocol-API entry points were removed; run_cluster is the
+    single front door for every protocol."""
+    import repro
+    import repro.baselines
+    import repro.core.cluster
 
-
-def test_deprecated_baseline_wrappers_return_unified_result():
-    wrapped = run_hotstuff_cluster(4, batch_size=50, tx_size=512,
-                                   duration=1.0, seed=4)
-    direct = run_cluster(
-        FireLedgerConfig(n_nodes=4, batch_size=50, tx_size=512,
-                         machine=wrapped.config.machine),
-        protocol="hotstuff", duration=1.0, warmup=0.2, seed=4)
-    assert wrapped.protocol == "hotstuff"
-    assert wrapped.tps == direct.tps
-    assert wrapped.blocks_committed == direct.blocks_committed
-    smart = run_bftsmart_cluster(4, batch_size=50, tx_size=512,
-                                 duration=1.0, seed=4)
-    assert smart.protocol == "bftsmart"
-    assert smart.tps == pytest.approx(smart.bps * 50, rel=0.01)
+    for module in (repro, repro.core, repro.core.cluster):
+        assert not hasattr(module, "run_fireledger_cluster")
+    for module in (repro.baselines, repro.baselines.hotstuff):
+        assert not hasattr(module, "run_hotstuff_cluster")
+    for module in (repro.baselines, repro.baselines.bftsmart):
+        assert not hasattr(module, "run_bftsmart_cluster")
 
 
 def test_run_cluster_enforces_minimum_cluster():
-    with pytest.raises(ValueError):
-        run_hotstuff_cluster(3, 10, 512)
-    with pytest.raises(ValueError):
-        run_bftsmart_cluster(2, 10, 512)
-
-
-def test_deprecated_wrappers_accept_short_smoke_durations():
-    # The retired cluster classes ran any positive duration; the aliases
-    # clamp their default 0.2s warmup instead of raising.
-    result = run_hotstuff_cluster(4, 10, 512, duration=0.2, seed=1)
-    assert result.protocol == "hotstuff"
+    config = FireLedgerConfig(n_nodes=4, batch_size=10, tx_size=512)
+    for protocol in ("hotstuff", "bftsmart"):
+        impl = protocols.get(protocol)
+        assert impl.min_nodes >= 4
+        with pytest.raises(ValueError):
+            run_cluster(config.with_overrides(n_nodes=impl.min_nodes - 1),
+                        protocol=protocol, duration=0.2, warmup=0.0)
 
 
 def test_client_batches_are_charged_at_their_actual_size(cluster_result):
@@ -158,8 +143,10 @@ def test_hotstuff_silent_byzantine_node_exercises_view_skip(cluster_result):
 
 
 def test_hotstuff_three_chain_depth_still_holds():
-    result = run_hotstuff_cluster(4, batch_size=100, tx_size=512,
-                                  duration=1.0, seed=2)
+    config = FireLedgerConfig(n_nodes=4, batch_size=100, tx_size=512,
+                              machine=C5_4XLARGE)
+    result = run_cluster(config, protocol="hotstuff", duration=1.0,
+                         warmup=0.2, seed=2)
     view_duration = 1.0 / max(result.blocks_committed, 1)
     assert result.latency.mean > (COMMIT_DEPTH - 1) * view_duration
 

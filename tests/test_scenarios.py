@@ -291,7 +291,8 @@ def test_every_library_scenario_is_registered():
     for name in library.names():
         spec = registry.get("scenario:" + name)
         assert spec.title == f"Scenario — {name}"
-        assert set(spec.axes) == {"cluster_size", "workers", "protocol"}
+        assert set(spec.axes) == {"cluster_size", "workers", "protocol",
+                                  "lanes"}
 
 
 def test_scenario_sweep_and_resume(tmp_path):
