@@ -181,6 +181,25 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--stdout", action="store_true",
                      help="print the markdown instead of writing a file")
 
+    spd = sub.add_parser(
+        "simspeed", help="benchmark the simulator's wall-clock speed and "
+                         "optionally gate against the committed baseline")
+    spd.add_argument("--check", action="store_true",
+                     help="compare the fresh measurement against the baseline "
+                          "rows in the result store and exit nonzero on a "
+                          "regression")
+    spd.add_argument("--tolerance", type=float, default=0.2, metavar="F",
+                     help="allowed fractional throughput drop before the gate "
+                          "fails (default: 0.2)")
+    spd.add_argument("--repeats", type=int, default=3, metavar="N",
+                     help="timed runs per case; best run is kept (default: 3)")
+    spd.add_argument("--variant", default="current",
+                     help="variant label stamped on the fresh rows "
+                          "(default: current)")
+    spd.add_argument("--results-dir", default=sweep.RESULTS_DIR_DEFAULT,
+                     help="JSONL result store holding the baseline "
+                          "(default: results/)")
+
     sub.add_parser("list", help="list registered experiments and their axes")
     return parser
 
@@ -372,6 +391,33 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_simspeed(args: argparse.Namespace, out) -> int:
+    from repro.experiments.speed import check_simspeed, load_baselines, sim_speed
+
+    rows = sim_speed(repeats=args.repeats, variant=args.variant)
+    columns = list(dict.fromkeys(key for row in rows for key in row))
+    print(format_rows(rows, columns=columns), file=out)
+    if not args.check:
+        return 0
+    baseline_path = sweep.results_path(args.results_dir, "simspeed")
+    if not Path(baseline_path).exists():
+        print(f"error: no baseline store at {baseline_path}", file=sys.stderr)
+        return 2
+    try:
+        failures = check_simspeed(rows, load_baselines(baseline_path),
+                                  tolerance=args.tolerance)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if failures:
+        for failure in failures:
+            print(f"simspeed regression: {failure}", file=sys.stderr)
+        return 1
+    print(f"simspeed gate passed (tolerance {args.tolerance:.0%} "
+          f"vs {baseline_path})", file=out)
+    return 0
+
+
 def _cmd_list(out) -> int:
     rows = [{"name": spec.name,
              "axes": ", ".join(sorted(spec.axes)) or "-",
@@ -391,6 +437,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "report":
             return _cmd_report(args, out)
+        if args.command == "simspeed":
+            return _cmd_simspeed(args, out)
         if args.command == "list":
             return _cmd_list(out)
     except BrokenPipeError:  # e.g. `python -m repro list | head`

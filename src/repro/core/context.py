@@ -63,6 +63,11 @@ class ProtocolContext:
         #: Event triggered whenever a panic becomes pending; waits watch it.
         self._wake_event = env.event()
         self.signature_operations = 0
+        # Hot-path constants: the endpoint never changes for a node's
+        # lifetime and the machine spec is frozen, so resolve both once
+        # instead of per received message.
+        self._endpoint = network.endpoints[node_id]
+        self._message_cpu = network.machine.message_processing_cpu
 
     # ------------------------------------------------------------------ time
     @property
@@ -105,8 +110,7 @@ class ProtocolContext:
         """Process helper charging ``duration`` seconds of one CPU core."""
         if duration <= 0:
             return
-        endpoint = self.network.endpoint(self.node_id)
-        yield from endpoint.cpu.use(duration)
+        yield from self._endpoint.cpu.use(duration)
 
     def count_signature(self, operations: int = 1) -> None:
         """Record asymmetric signature operations (Table 1 accounting)."""
@@ -127,7 +131,7 @@ class ProtocolContext:
         if message is not None:
             # Fast path: the message is already buffered — skip the
             # get-event/AnyOf/timeout machinery entirely.
-            yield from self.use_cpu(self.network.machine.message_processing_cpu)
+            yield from self.use_cpu(self._message_cpu)
             return message
         deadline = None if timeout is None else self.env.now + timeout
         while True:
@@ -141,7 +145,7 @@ class ProtocolContext:
                 message = result[get_event]
                 # Handling a control message costs CPU on the receiving
                 # worker's thread (deserialisation, dispatch, bookkeeping).
-                yield from self.use_cpu(self.network.machine.message_processing_cpu)
+                yield from self.use_cpu(self._message_cpu)
                 return message
             # The get is still registered with the store; withdraw it so a
             # later message does not vanish into an abandoned event.

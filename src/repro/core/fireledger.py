@@ -79,6 +79,10 @@ class FireLedgerWorker:
         self.channel = f"{channel_prefix}/{worker_id}"
 
         self.cost = CryptoCostModel(config.machine)
+        # Per-round CPU constants for the configured block shape, resolved
+        # once instead of through cost-model calls in the round hot loop.
+        self._round_costs = self.cost.round_profile(config.batch_size,
+                                                    config.tx_size)
         self.chain = Blockchain(config.finality_depth, worker_id,
                                 retention_rounds=config.effective_retention_rounds)
         self.txpool = TxPool(config.tx_size, self.rng,
@@ -186,10 +190,17 @@ class FireLedgerWorker:
             return
         self.env.process(self._verify_and_store_body(root, payload["batch"]))
 
+    def _body_hash_cost(self, batch: Batch) -> float:
+        """Merkle re-hash time for ``batch`` (profiled full-body fast path)."""
+        costs = self._round_costs
+        if batch.size_bytes == costs.body_bytes:
+            return costs.body_hash
+        return self.cost.hash_time(batch.size_bytes)
+
     def _verify_and_store_body(self, root: str, batch: Batch):
         # Re-hashing the transactions to check the Merkle root is the
         # receiver-side share of the Figure 5 cost model.
-        yield from self.context.use_cpu(self.cost.hash_time(batch.size_bytes))
+        yield from self.context.use_cpu(self._body_hash_cost(batch))
         if batch.root != root:
             return  # corrupted body; ignore it
         self._bodies[root] = batch
@@ -279,7 +290,7 @@ class FireLedgerWorker:
         batch = self.txpool.take_batch(self.config.batch_size, now=self.env.now,
                                        fill_random=self.config.fill_blocks)
         root = batch.root
-        self._charge_background(self.cost.hash_time(batch.size_bytes))
+        self._charge_background(self._body_hash_cost(batch))
         self._bodies[root] = batch
         self._body_order.append(root)
         event = self._body_events.pop(root, None)
@@ -358,7 +369,7 @@ class FireLedgerWorker:
                                   batch, worker_id=self.worker_id,
                                   created_at=self.env.now)
         signature = self.keys.sign(header.digest)
-        self._charge_background(self.cost.sign_time(0))
+        self._charge_background(self._round_costs.header_sign)
         self.signatures_created += 1
         self.recorder.signature_operations += 1
         payload = {"header": header, "signature": signature}
@@ -391,7 +402,7 @@ class FireLedgerWorker:
     def _await_body(self, payload: Any, deadline: float):
         """Generator acceptance check: charge verification CPU, wait for the body."""
         header = payload["header"]
-        yield from self.context.use_cpu(self.cost.verify_time(0))
+        yield from self.context.use_cpu(self._round_costs.header_verify)
         self.signatures_verified += 1
         if not self.config.separate_headers or header.tx_count == 0:
             self.recorder.record_event(self.worker_id, header.round_number,

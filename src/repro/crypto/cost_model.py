@@ -81,6 +81,40 @@ C5_4XLARGE = MachineSpec(
 MACHINE_PRESETS = {spec.name: spec for spec in (M5_XLARGE, C5_4XLARGE)}
 
 
+@dataclass(frozen=True)
+class RoundCostProfile:
+    """Every per-round CPU constant for one block shape, computed once.
+
+    The protocol round loop used to re-derive the same handful of durations
+    through :class:`CryptoCostModel` calls on every round (and on every
+    received message): ``sign_time(0)`` for the header signature,
+    ``verify_time(0)`` for its verification, ``hash_time(body)`` for the
+    Merkle re-hash.  All of them are pure functions of the immutable machine
+    spec and the configured ``(batch_size, tx_size)`` shape, so a worker asks
+    :meth:`CryptoCostModel.round_profile` once at start-up and charges plain
+    attribute reads from then on.
+    """
+
+    #: Body payload size the profile was computed for (``batch_size * tx_size``).
+    body_bytes: int
+    #: Signing the fixed-size header (``sign_time(0)``).
+    header_sign: float
+    #: Verifying the header signature (``verify_time(0)``).
+    header_verify: float
+    #: Re-hashing a full body to check the Merkle root (``hash_time(body_bytes)``).
+    body_hash: float
+    #: Full block signing time, hash plus signature (Figure 5's ``t_sign``).
+    block_sign: float
+    #: Full block verification time.
+    block_verify: float
+    #: CPU cost of handling one received control message.
+    message_cpu: float
+
+    def message_processing(self, count: int) -> float:
+        """Aggregate CPU time for handling ``count`` received messages."""
+        return count * self.message_cpu
+
+
 class CryptoCostModel:
     """Computes simulated CPU durations for hashing, signing and verifying.
 
@@ -94,6 +128,8 @@ class CryptoCostModel:
         self.machine = machine
         self._block_sign_cache: dict[tuple[int, int], float] = {}
         self._block_verify_cache: dict[tuple[int, int], float] = {}
+        self._round_profile_cache: dict[tuple[int, int], RoundCostProfile] = {}
+        self._message_time_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------- primitives
     def hash_time(self, size_bytes: int) -> float:
@@ -125,6 +161,40 @@ class CryptoCostModel:
         cached = self._block_verify_cache.get(key)
         if cached is None:
             cached = self._block_verify_cache[key] = self.verify_time(batch_size * tx_size)
+        return cached
+
+    # -------------------------------------------------------------- rounds
+    def message_processing_time(self, count: int = 1) -> float:
+        """CPU time to handle ``count`` received control messages.
+
+        The per-round replacement for charging ``message_processing_cpu``
+        once per message: a vote-collection phase that knows it handled
+        ``count`` messages charges them in one call.  Memoised per count —
+        rounds see the same few quorum sizes over and over.
+        """
+        cached = self._message_time_cache.get(count)
+        if cached is None:
+            if count < 0:
+                raise ValueError("count must be non-negative")
+            cached = self._message_time_cache[count] = (
+                count * self.machine.message_processing_cpu)
+        return cached
+
+    def round_profile(self, batch_size: int, tx_size: int) -> RoundCostProfile:
+        """The :class:`RoundCostProfile` for one block shape (memoised)."""
+        key = (batch_size, tx_size)
+        cached = self._round_profile_cache.get(key)
+        if cached is None:
+            body_bytes = batch_size * tx_size
+            cached = self._round_profile_cache[key] = RoundCostProfile(
+                body_bytes=body_bytes,
+                header_sign=self.sign_time(0),
+                header_verify=self.verify_time(0),
+                body_hash=self.hash_time(body_bytes),
+                block_sign=self.block_sign_time(batch_size, tx_size),
+                block_verify=self.block_verify_time(batch_size, tx_size),
+                message_cpu=self.machine.message_processing_cpu,
+            )
         return cached
 
     # ------------------------------------------------------------- figure 5

@@ -22,8 +22,11 @@ simulator and are the reference the speedup is measured against.
 
 from __future__ import annotations
 
+import gc
+import json
 import time
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.core.cluster import run_cluster
 from repro.core.config import FireLedgerConfig
@@ -42,11 +45,27 @@ BROADCAST_SIZE = 256
 
 
 def _best_of(repeats: int, fn) -> float:
+    """Best wall time over ``repeats`` runs, cyclic GC paused while timing.
+
+    Same policy as :mod:`timeit`: collector pauses land at arbitrary points
+    of allocation-heavy runs and contribute double-digit run-to-run noise,
+    so each run is timed with the collector off and garbage is swept between
+    runs instead.
+    """
+    was_enabled = gc.isenabled()
     best = float("inf")
-    for _ in range(max(1, repeats)):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
+    try:
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            gc.disable()
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+            if was_enabled:
+                gc.enable()
+    finally:
+        if was_enabled:
+            gc.enable()
     return best
 
 
@@ -98,3 +117,80 @@ def sim_speed(scale: Optional[ExperimentScale] = None, n_nodes: int = 40,
         "variant": variant,
     })
     return rows
+
+
+# ---------------------------------------------------------------- regression gate
+
+#: Variant label of the committed rows the CI regression gate compares
+#: against.  Wall-clock throughput is hardware-dependent, so the gate rows
+#: are deliberately a *floor* — the pre-tentpole kernel's committed numbers —
+#: not the best recorded numbers: losing the whole batched-delivery speedup
+#: (plus the tolerance) trips the gate on any reasonable runner, while
+#: machine-to-machine variance does not.
+GATE_VARIANT = "gate-baseline"
+
+#: Higher-is-better throughput metric gated per benchmark case.
+GATE_METRICS = {
+    "broadcast_storm": "deliveries_per_wall_s",
+    "fig10_large_n": "sim_x_realtime",
+}
+
+
+def load_baselines(path: Union[str, Path],
+                   variant: Optional[str] = GATE_VARIANT) -> dict[str, dict]:
+    """Newest baseline row per case from a simspeed JSONL result store.
+
+    Rows carrying ``variant`` are preferred; if the store has none (or
+    ``variant`` is ``None``), the newest row per case of any variant is
+    used, so the gate still works against a store that only has plain
+    measurement records.
+    """
+    preferred: dict[str, dict] = {}
+    fallback: dict[str, dict] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            for row in record.get("rows", []):
+                case = row.get("case")
+                if case is None:
+                    continue
+                fallback[case] = row
+                if variant is not None and row.get("variant") == variant:
+                    preferred[case] = row
+    return {**fallback, **preferred}
+
+
+def check_simspeed(fresh_rows: list[dict], baselines: dict[str, dict],
+                   tolerance: float = 0.2) -> list[str]:
+    """Gate ``fresh_rows`` against ``baselines``; returns failure messages.
+
+    For every baselined case the fresh throughput metric (see
+    :data:`GATE_METRICS`) must reach ``(1 - tolerance)`` of the baseline
+    value; a case present in the baselines but missing from the fresh rows
+    is itself a failure, so a renamed or dropped benchmark cannot silently
+    disable the gate.  An empty return value means the gate passes.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    fresh_by_case = {row.get("case"): row for row in fresh_rows}
+    failures = []
+    for case, baseline in sorted(baselines.items()):
+        metric = GATE_METRICS.get(case)
+        if metric is None or metric not in baseline:
+            continue
+        fresh = fresh_by_case.get(case)
+        if fresh is None:
+            failures.append(f"{case}: no fresh measurement for baselined case")
+            continue
+        want = baseline[metric] * (1.0 - tolerance)
+        got = fresh.get(metric)
+        if got is None:
+            failures.append(f"{case}: fresh row is missing {metric}")
+        elif got < want:
+            failures.append(
+                f"{case}: {metric} regressed to {got:g} "
+                f"(baseline {baseline[metric]:g}, floor {want:g})")
+    return failures

@@ -10,7 +10,47 @@ per-link bandwidth, which is what the declarative scenario layer
 from __future__ import annotations
 
 import random
+from math import cos, log, pi, sin, sqrt
 from typing import Mapping, Optional, Sequence
+
+_TWOPI = 2.0 * pi
+
+
+def _abs_gauss_block(rng: random.Random, count: int) -> list[float]:
+    """``[abs(rng.gauss(0, 1)) for _ in range(count)]``, bit-identical.
+
+    Replicates CPython's ``random.Random.gauss`` — pairwise polar generation
+    with the second value cached in ``gauss_next`` — with the per-call method
+    overhead stripped out of the broadcast fan-out loop.  Exactness matters:
+    the batched delivery path must consume the rng stream exactly as per-copy
+    :meth:`LatencyModel.sample` calls would, and ``test_network`` pins this
+    helper against the stdlib draw for draw.
+    """
+    uniform = rng.random
+    out: list[float] = []
+    append = out.append
+    z = rng.gauss_next
+    if z is not None:
+        if count == 0:
+            return out
+        rng.gauss_next = None
+        append(z if z >= 0.0 else -z)
+        count -= 1
+    # Whole polar pairs, branch-free per pair.
+    for _ in range(count >> 1):
+        x2pi = uniform() * _TWOPI
+        g2rad = sqrt(-2.0 * log(1.0 - uniform()))
+        z = cos(x2pi) * g2rad
+        append(z if z >= 0.0 else -z)
+        z = sin(x2pi) * g2rad
+        append(z if z >= 0.0 else -z)
+    if count & 1:
+        x2pi = uniform() * _TWOPI
+        g2rad = sqrt(-2.0 * log(1.0 - uniform()))
+        z = cos(x2pi) * g2rad
+        append(z if z >= 0.0 else -z)
+        rng.gauss_next = sin(x2pi) * g2rad
+    return out
 
 
 class LatencyModel:
@@ -19,6 +59,19 @@ class LatencyModel:
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         """One-way delay for a message from ``src`` to ``dst``."""
         raise NotImplementedError
+
+    def sample_block(self, src: int, receivers: Sequence[int],
+                     rng: random.Random) -> list[float]:
+        """One-way delays for one broadcast: one entry per receiver, in order.
+
+        Must consume ``rng`` exactly as the equivalent sequence of
+        :meth:`sample` calls would — the batched delivery path relies on the
+        stream being identical so that batched and per-copy runs stay
+        bit-for-bit equivalent.  Subclasses override this purely to hoist
+        per-call attribute lookups out of the fan-out loop.
+        """
+        sample = self.sample
+        return [sample(src, dst, rng) for dst in receivers]
 
     def base_delay(self, src: int, dst: int) -> float:
         """Deterministic component of the link delay (no jitter)."""
@@ -51,6 +104,12 @@ class UniformLatency(LatencyModel):
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
+    def sample_block(self, src: int, receivers: Sequence[int],
+                     rng: random.Random) -> list[float]:
+        uniform = rng.uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in receivers]
+
 
 class SingleDatacenterLatency(LatencyModel):
     """Intra data-center latency: ~a quarter millisecond with light jitter.
@@ -72,6 +131,12 @@ class SingleDatacenterLatency(LatencyModel):
         # Lognormal-ish jitter: mostly near base, occasional slower delivery.
         factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
         return self.base * factor
+
+    def sample_block(self, src: int, receivers: Sequence[int],
+                     rng: random.Random) -> list[float]:
+        base, jitter = self.base, self.jitter
+        return [base * (1.0 + jitter * g)
+                for g in _abs_gauss_block(rng, len(receivers))]
 
 
 #: The ten AWS regions of the geo-distributed deployment (Section 7.5), in the
@@ -160,22 +225,48 @@ class GeoDistributedLatency(LatencyModel):
         self.regions = tuple(regions)
         self.jitter = jitter
         self.local_one_way = local_one_way
+        # Lazily grown per-source rows of base delays: the frozenset matrix
+        # lookup is too slow for the broadcast fan-out loop, and n is not
+        # known up front (region_of wraps modulo), so rows extend on demand.
+        self._row_cache: dict[int, list[float]] = {}
 
     def region_of(self, node_id: int) -> str:
         """Region hosting ``node_id`` (wraps around for very large clusters)."""
         return self.regions[node_id % len(self.regions)]
 
-    def base_delay(self, src: int, dst: int) -> float:
+    def _lookup_delay(self, src: int, dst: int) -> float:
         region_src = self.region_of(src)
         region_dst = self.region_of(dst)
         if region_src == region_dst:
             return self.local_one_way
         return _GEO_ONE_WAY_MS[frozenset((region_src, region_dst))] * 1e-3
 
+    def _base_row(self, src: int, size: int) -> list[float]:
+        """Base delays from ``src`` to every dst below ``size`` (cached)."""
+        row = self._row_cache.get(src)
+        if row is None:
+            row = self._row_cache[src] = []
+        if len(row) < size:
+            lookup = self._lookup_delay
+            row.extend(lookup(src, dst) for dst in range(len(row), size))
+        return row
+
+    def base_delay(self, src: int, dst: int) -> float:
+        return self._base_row(src, dst + 1)[dst]
+
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
-        base = self.base_delay(src, dst)
+        base = self._base_row(src, dst + 1)[dst]
         factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
         return base * factor
+
+    def sample_block(self, src: int, receivers: Sequence[int],
+                     rng: random.Random) -> list[float]:
+        if not receivers:
+            return []
+        row = self._base_row(src, max(receivers) + 1)
+        jitter = self.jitter
+        return [row[dst] * (1.0 + jitter * g)
+                for dst, g in zip(receivers, _abs_gauss_block(rng, len(receivers)))]
 
 
 class WanTopologyLatency(LatencyModel):
@@ -238,6 +329,13 @@ class WanTopologyLatency(LatencyModel):
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         factor = 1.0 + self.jitter * abs(rng.gauss(0.0, 1.0))
         return self._delay[src][dst] * factor
+
+    def sample_block(self, src: int, receivers: Sequence[int],
+                     rng: random.Random) -> list[float]:
+        row = self._delay[src]
+        jitter = self.jitter
+        return [row[dst] * (1.0 + jitter * g)
+                for dst, g in zip(receivers, _abs_gauss_block(rng, len(receivers)))]
 
     def transfer_delay(self, src: int, dst: int, size_bytes: int) -> float:
         return size_bytes * self._inv_bandwidth[src][dst]

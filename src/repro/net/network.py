@@ -4,19 +4,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from itertools import accumulate, repeat
 from typing import Any, Optional
 
 from repro.crypto.cost_model import M5_XLARGE, MachineSpec
 from repro.net.faults import FaultController
 from repro.net.latency import LatencyModel, SingleDatacenterLatency
-from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message, _message_counter
 from repro.sim import Environment, Resource, Store
 
 #: Messages above this size travel on the bulk (data-path) lane.
 BULK_MESSAGE_THRESHOLD = 8 * 1024
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic counters, useful for Table 1 style accounting."""
 
@@ -47,6 +48,10 @@ class NetworkStats:
 class Endpoint:
     """Per-node attachment point: mailbox, NIC serialisation state, CPU."""
 
+    __slots__ = ("env", "node_id", "machine", "mailbox", "cpu", "crashed",
+                 "bytes_sent", "bytes_received", "_tx_free_at", "_rx_free_at",
+                 "router")
+
     def __init__(self, env: Environment, node_id: int, machine: MachineSpec) -> None:
         self.env = env
         self.node_id = node_id
@@ -60,7 +65,8 @@ class Endpoint:
         # travel over independent gRPC streams in the paper's implementation,
         # so bulk transfers do not head-of-line-block small control messages.
         # We model that with two independent occupancy lanes per direction.
-        self.reset_lanes()
+        self._tx_free_at = {"bulk": 0.0, "ctrl": 0.0}
+        self._rx_free_at = {"bulk": 0.0, "ctrl": 0.0}
         #: Optional callable that replaces the default mailbox delivery; nodes
         #: install a dispatcher here to route traffic to per-protocol inboxes.
         self.router = None
@@ -73,9 +79,15 @@ class Endpoint:
             self.mailbox.put(message)
 
     def reset_lanes(self) -> None:
-        """Clear all queued NIC occupancy (both directions, both lanes)."""
-        self._tx_free_at = {"bulk": 0.0, "ctrl": 0.0}
-        self._rx_free_at = {"bulk": 0.0, "ctrl": 0.0}
+        """Clear all queued NIC occupancy (both directions, both lanes).
+
+        Mutates the lane dicts in place: the :class:`Network` broadcast fast
+        path holds direct references to them for the endpoint's lifetime.
+        """
+        tx = self._tx_free_at
+        tx["bulk"] = tx["ctrl"] = 0.0
+        rx = self._rx_free_at
+        rx["bulk"] = rx["ctrl"] = 0.0
 
     def _transfer_cost(self, size_bytes: int) -> float:
         """Time one message occupies the RPC stack + NIC on one side."""
@@ -154,6 +166,11 @@ class Network:
         self.fault_controller = fault_controller
         self.stats = NetworkStats()
         self.endpoints = [Endpoint(env, node_id, machine) for node_id in range(n_nodes)]
+        # Broadcast fast-path caches: the per-endpoint ingress lane dicts
+        # (stable for an endpoint's lifetime — reset_lanes mutates in place)
+        # and a delivery completer closed over the hot instance state.
+        self._rx_lanes = [endpoint._rx_free_at for endpoint in self.endpoints]
+        self._deliver = self._make_completer()
 
     # ----------------------------------------------------------------- nodes
     def endpoint(self, node_id: int) -> Endpoint:
@@ -205,7 +222,7 @@ class Network:
 
         if sender == receiver:
             # Local loopback: no NIC, no propagation, delivered immediately.
-            self.env.call_later(0.0, self._complete_delivery, message)
+            self.env.call_later(0.0, self._deliver, message)
             return message
 
         if self.fault_controller is not None and self.fault_controller.should_drop(
@@ -224,8 +241,7 @@ class Network:
         destination = self.endpoints[receiver]
         received_at = destination.reserve_ingress(
             message.size_bytes, not_before=serialisation_done + propagation + extra)
-        self.env.call_later(received_at - self.env.now, self._complete_delivery,
-                            message)
+        self.env.call_later(received_at - self.env.now, self._deliver, message)
         return message
 
     def broadcast(self, sender: int, channel: str, kind: str, payload: Any,
@@ -234,12 +250,18 @@ class Network:
         """Send the same payload to every other node (clique dissemination).
 
         Fan-out fast path: instead of ``n`` independent :meth:`send` calls the
-        fan-out builds every :class:`Message` and reserves the sender's NIC
-        lane in a single pass.  The per-copy serialisation cost is identical
-        (all copies are the same size), so the egress lane advances by one
-        precomputed increment per copy rather than a full ``reserve_nic``
-        round-trip.  Dropped copies are excluded from the returned list and,
-        as in :meth:`send`, consume no egress.
+        fan-out builds every :class:`Message`, reserves the sender's NIC lane
+        by one precomputed increment per copy (all copies are the same size,
+        and every endpoint runs the same machine spec, so ingress costs match
+        too), samples all link latencies in one
+        :meth:`~repro.net.latency.LatencyModel.sample_block` call, and hands
+        the whole fan-out to the kernel as a single
+        :meth:`~repro.sim.environment.Environment.schedule_batch` delivery
+        train — one queue entry per broadcast instead of one per copy.  With a
+        fault controller installed the loop falls back to per-copy sampling so
+        the ``should_drop`` / ``sample`` / ``extra_delay`` interleaving on the
+        shared rng is unchanged.  Dropped copies are excluded from the
+        returned list and, as in :meth:`send`, consume no egress.
         """
         if not 0 <= sender < self.n_nodes:
             raise ValueError(f"invalid endpoint id sender={sender}")
@@ -250,29 +272,91 @@ class Network:
         now = env.now
         stats = self.stats
         fault = self.fault_controller
-        sample = self.latency_model.sample
+        model = self.latency_model
         # Skip the per-copy transfer_delay call entirely for models that keep
         # the base class's zero-cost default (every link latency-bound only).
         transfer = None
-        if type(self.latency_model).transfer_delay is not LatencyModel.transfer_delay:
-            transfer = self.latency_model.transfer_delay
+        if type(model).transfer_delay is not LatencyModel.transfer_delay:
+            transfer = model.transfer_delay
         rng = self.rng
         endpoints = self.endpoints
-        complete = self._complete_delivery
-        call_later = env.call_later
+        n = self.n_nodes
+        complete = self._deliver
 
         wire_bytes = max(size_bytes, MESSAGE_OVERHEAD_BYTES)  # Message clamps too
-        lane = Endpoint._lane(wire_bytes)
+        lane = "bulk" if wire_bytes > BULK_MESSAGE_THRESHOLD else "ctrl"
         cost = source._transfer_cost(wire_bytes)
         tx_free = source._tx_free_at
         free_at = tx_free[lane]
         if free_at < now:
             free_at = now
 
+        if fault is None:
+            receivers = list(range(sender)) + list(range(sender + 1, n))
+            delays = model.sample_block(sender, receivers, rng)
+            new = Message.__new__
+            next_id = _message_counter.__next__
+            rx_lanes = self._rx_lanes
+            # Per-copy arrival floors in two C-level passes: the sender's NIC
+            # frees one `cost` later per copy (a prefix sum), then each copy
+            # adds its sampled link delay (and per-link transfer time on
+            # bandwidth-capped WAN models).
+            floors = list(accumulate(repeat(cost, n - 1), initial=free_at))
+            del floors[0]
+            free_at = floors[-1]
+            if transfer is None:
+                floors = [f + d for f, d in zip(floors, delays)]
+            else:
+                floors = [f + d + transfer(sender, r, wire_bytes)
+                          for f, d, r in zip(floors, delays, receivers)]
+            times: list[float] = []
+            messages = []
+            times_append = times.append
+            append = messages.append
+            for receiver, not_before in zip(receivers, floors):
+                rx = rx_lanes[receiver]
+                prior = rx[lane]
+                if not_before < prior:
+                    not_before = prior
+                received_at = not_before + cost
+                rx[lane] = received_at
+                message = new(Message)
+                message.sender = sender
+                message.receiver = receiver
+                message.channel = channel
+                message.kind = kind
+                message.payload = payload
+                message.size_bytes = wire_bytes
+                message.sent_at = now
+                message.delivered_at = None
+                message.message_id = next_id()
+                times_append(received_at)
+                append(message)
+            env.schedule_batch(times, messages, complete)
+            sent = n - 1
+            if include_self:
+                message = Message(sender=sender, receiver=sender, channel=channel,
+                                  kind=kind, payload=payload, size_bytes=size_bytes,
+                                  sent_at=now)
+                env.call_later(0.0, complete, message)
+                # The self copy sits at its receiver-order slot in the result.
+                messages.insert(sender, message)
+                sent += 1
+            tx_free[lane] = free_at
+            source.bytes_sent += (n - 1) * wire_bytes
+            if sent:
+                stats.messages_sent += sent
+                stats.bytes_sent += sent * wire_bytes
+                key = (channel, kind)
+                stats.per_kind[key] = stats.per_kind.get(key, 0) + sent
+            return messages
+
         messages = []
+        times = []
+        in_flight = []
         sent = dropped = 0
         egress_copies = 0
-        for receiver in range(self.n_nodes):
+        for receiver in range(n):
             if receiver == sender:
                 if not include_self:
                     continue
@@ -280,28 +364,29 @@ class Network:
                                   kind=kind, payload=payload, size_bytes=size_bytes,
                                   sent_at=now)
                 sent += 1
-                call_later(0.0, complete, message)
+                env.call_later(0.0, complete, message)
                 messages.append(message)
                 continue
             message = Message(sender=sender, receiver=receiver, channel=channel,
                               kind=kind, payload=payload, size_bytes=size_bytes,
                               sent_at=now)
             sent += 1
-            if fault is not None and fault.should_drop(message, now, rng):
+            if fault.should_drop(message, now, rng):
                 dropped += 1
                 continue
             free_at += cost
             egress_copies += 1
-            not_before = free_at + sample(sender, receiver, rng)
+            not_before = free_at + model.sample(sender, receiver, rng)
             if transfer is not None:
                 not_before += transfer(sender, receiver, wire_bytes)
-            if fault is not None:
-                not_before += fault.extra_delay(message, now, rng)
+            not_before += fault.extra_delay(message, now, rng)
             received_at = endpoints[receiver].reserve_ingress(
                 wire_bytes, not_before=not_before)
-            call_later(received_at - now, complete, message)
+            times.append(received_at)
+            in_flight.append(message)
             messages.append(message)
 
+        env.schedule_batch(times, in_flight, complete)
         tx_free[lane] = free_at
         source.bytes_sent += egress_copies * wire_bytes
         stats.messages_sent += sent
@@ -313,12 +398,40 @@ class Network:
             stats.per_kind[key] = stats.per_kind.get(key, 0) + sent
         return messages
 
+    def _make_completer(self):
+        """Build the per-delivery completion callback as a closure.
+
+        The hottest function in the simulator: one call per delivered
+        message.  Endpoint.deliver and Store.put are inlined (router
+        installed / no waiting getter are the overwhelmingly common cases),
+        the clock is read without the ``env.now`` property round-trip, and
+        closing over the endpoint list / stats / environment turns three
+        attribute chains per delivery into cell loads.
+        """
+        endpoints = self.endpoints
+        stats = self.stats
+        env = self.env
+
+        def complete(message: Message) -> None:
+            destination = endpoints[message.receiver]
+            if destination.crashed:
+                stats.messages_dropped += 1
+                return
+            message.delivered_at = env._now  # noqa: SLF001
+            destination.bytes_received += message.size_bytes
+            stats.messages_delivered += 1
+            router = destination.router
+            if router is not None:
+                router(message)
+                return
+            mailbox = destination.mailbox
+            if mailbox._getters:  # noqa: SLF001
+                mailbox.put(message)
+            else:
+                mailbox._items.append(message)  # noqa: SLF001
+
+        return complete
+
     def _complete_delivery(self, message: Message) -> None:
-        destination = self.endpoints[message.receiver]
-        if destination.crashed:
-            self.stats.messages_dropped += 1
-            return
-        message.delivered_at = self.env.now
-        destination.bytes_received += message.size_bytes
-        self.stats.messages_delivered += 1
-        destination.deliver(message)
+        """Deliver ``message`` to its destination endpoint (or drop it)."""
+        self._deliver(message)

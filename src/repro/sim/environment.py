@@ -3,13 +3,31 @@
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.sim.events import AllOf, AnyOf, Event, ScheduledCallback, Timeout
+from repro.sim.events import (
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    ScheduledBatch,
+    ScheduledCallback,
+    Timeout,
+)
 from repro.sim.process import Process
 
 #: Upper bound on the recycled :class:`ScheduledCallback` free pool.
 _CALLBACK_POOL_MAX = 4096
+
+#: Environment variable forcing the pre-batching reference kernel.
+KERNEL_REFERENCE_ENV = "KERNEL_REFERENCE"
+
+
+def _reference_default() -> bool:
+    """Whether ``KERNEL_REFERENCE`` requests the reference (slow) kernel."""
+    return os.environ.get(KERNEL_REFERENCE_ENV, "").strip() not in ("", "0")
 
 
 class EmptySchedule(Exception):
@@ -24,20 +42,46 @@ class Environment:
     ``priority`` (see :meth:`schedule_event`), then in FIFO order of
     scheduling, which keeps every run fully deterministic.
 
-    Two kinds of entries share the queue: regular :class:`Event` objects
-    (yieldable, composable, with callback lists) and the pooled
-    :class:`ScheduledCallback` timers created by :meth:`call_later`, which
-    :meth:`step` dispatches on a dedicated fast path and recycles into a
-    free pool (capped at ``_CALLBACK_POOL_MAX`` instances) so per-message
-    delivery timers allocate nothing in the steady state.
+    Three kinds of entries share the queue: regular :class:`Event` objects
+    (yieldable, composable, with callback lists), the pooled
+    :class:`ScheduledCallback` timers created by :meth:`call_later`, and the
+    :class:`ScheduledBatch` delivery trains created by :meth:`schedule_batch`
+    (one heap slot for a whole broadcast fan-out).
+
+    Two specialisations keep the hot paths cheap; both preserve the exact
+    ``(time, priority, sequence)`` order the plain heap would produce:
+
+    * **Same-instant bucket.**  The dominant scheduling case is "run this at
+      the current instant" (event ``succeed``, zero-delay ``call_later``,
+      loopback delivery).  Those entries go to a FIFO ``deque`` drained
+      before the clock advances instead of round-tripping through the heap.
+      An entry scheduled *now* for *now* necessarily sorts after every
+      same-instant entry already in the heap (its sequence number is
+      larger), so "heap entries at the current instant first, then the
+      bucket in FIFO order" is exactly the heap order.
+    * **Delivery trains.**  :meth:`schedule_batch` reserves a contiguous
+      sequence block for all entries of one broadcast and keeps them in a
+      single sorted :class:`ScheduledBatch`; see its docstring.
+
+    Constructing with ``reference=True`` — or setting the
+    ``KERNEL_REFERENCE=1`` environment variable — disables both
+    specialisations: every entry is heap-scheduled individually, which is
+    the pre-batching kernel.  The differential test suite runs every
+    scenario under both kernels and asserts byte-identical outcomes.
     """
 
-    def __init__(self, initial_time: float = 0.0, strict_errors: bool = True) -> None:
+    __slots__ = ("_now", "_queue", "_bucket", "_sequence", "_active_process",
+                 "_callback_pool", "reference", "strict_errors")
+
+    def __init__(self, initial_time: float = 0.0, strict_errors: bool = True,
+                 reference: Optional[bool] = None) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, int, Any]] = []
+        self._bucket: deque[Any] = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self._callback_pool: list[ScheduledCallback] = []
+        self.reference = _reference_default() if reference is None else bool(reference)
         #: When True, exceptions escaping a process propagate out of ``run``.
         self.strict_errors = strict_errors
 
@@ -62,7 +106,11 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
+        """Create an event that fires ``delay`` seconds from now.
+
+        Raises :class:`ValueError` for negative delays: scheduling in the
+        past would silently violate causality.
+        """
         return Timeout(self, delay, value)
 
     def call_later(self, delay: float, fn: Callable[[Any], None],
@@ -74,7 +122,12 @@ class Environment:
         free pool after it fires, so hot paths (per-message delivery) allocate
         nothing in the steady state.  The timer is kernel-internal — it cannot
         be yielded on or cancelled, and no reference to it is returned.
+
+        Raises :class:`ValueError` for negative delays: scheduling in the
+        past would silently violate causality.
         """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
         pool = self._callback_pool
         if pool:
             timer = pool.pop()
@@ -82,8 +135,13 @@ class Environment:
             timer.arg = arg
         else:
             timer = ScheduledCallback(fn, arg)
+        now = self._now
+        when = now + delay
+        if when <= now and not self.reference:
+            self._bucket.append(timer)
+            return
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, 1, self._sequence, timer))
+        heapq.heappush(self._queue, (when, 1, self._sequence, timer))
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from ``generator``."""
@@ -106,31 +164,70 @@ class Environment:
         kernel schedules (including :meth:`call_later` timers) uses the
         default priority 1, so the knob exists for callers that must run
         before or after the normal event traffic of one instant.
+
+        Raises :class:`ValueError` for negative delays.
         """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        now = self._now
+        when = now + delay
+        if when <= now and priority == 1 and not self.reference:
+            # Same-instant default-priority entries keep FIFO order in the
+            # bucket; everything already heap-queued for this instant has a
+            # smaller sequence number, so heap-first dispatch preserves the
+            # exact (time, priority, sequence) order.
+            self._bucket.append(event)
+            return
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        heapq.heappush(self._queue, (when, priority, self._sequence, event))
+
+    def schedule_batch(self, times: list[float], args: list[Any],
+                       fn: Callable[[Any], None]) -> None:
+        """Schedule ``fn(args[i])`` at each ``times[i]`` (one broadcast's copies).
+
+        All entries must lie strictly in the future.  A contiguous sequence
+        block is reserved in ``args`` order, so the fire order (and every tie
+        with unrelated queue entries) is exactly what per-entry
+        :meth:`call_later` calls would have produced.  On the batched kernel
+        the entries ride one :class:`ScheduledBatch` heap slot; the reference
+        kernel expands them into per-copy pooled timers.
+        """
+        k = len(times)
+        if k == 0:
+            return
+        base = self._sequence + 1
+        self._sequence = base + k - 1
+        queue = self._queue
+        if self.reference:
+            pool = self._callback_pool
+            push = heapq.heappush
+            for i in range(k):
+                if pool:
+                    timer = pool.pop()
+                    timer.fn = fn
+                    timer.arg = args[i]
+                else:
+                    timer = ScheduledCallback(fn, args[i])
+                push(queue, (times[i], 1, base + i, timer))
+            return
+        batch = ScheduledBatch(fn)
+        pairs = sorted(zip(times, range(k)))
+        batch.entries = [(t, 1, base + i, batch, j)
+                         for j, (t, i) in enumerate(pairs)]
+        batch.args = [args[i] for _, i in pairs]
+        heapq.heappush(queue, batch.entries[0])
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
+        if self._bucket:
+            return self._now
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
 
-    def step(self) -> None:
-        """Process the next scheduled queue entry and advance the clock.
-
-        Pooled :meth:`call_later` timers take a fast path: the callback and
-        argument are read off the :class:`ScheduledCallback`, the instance is
-        recycled *before* the callback runs (safe because a re-entrant
-        ``call_later`` finding it in the pool re-initialises both slots), and
-        no callback list or event finalisation is involved.  Regular events
-        are finalised (timeouts become triggered with their scheduled value)
-        and their callbacks run in registration order.
-        """
-        if not self._queue:
-            raise EmptySchedule()
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, event: Any) -> None:
+        """Run one queue entry that is due now (bucket or heap, not a batch)."""
         if type(event) is ScheduledCallback:
             fn, arg = event.fn, event.arg
             pool = self._callback_pool
@@ -141,10 +238,10 @@ class Environment:
                 pool.append(event)
             fn(arg)
             return
-        if not event.triggered:
+        if event._value is PENDING:  # noqa: SLF001 - kernel-internal finalisation
             # Self-scheduling events (timeouts) only become triggered at their
             # fire time; finalise them here before running callbacks.
-            event._ok = True  # noqa: SLF001 - kernel-internal finalisation
+            event._ok = True  # noqa: SLF001
             event._value = getattr(event, "_scheduled_value", None)  # noqa: SLF001
         callbacks = event.callbacks
         event.callbacks = None
@@ -152,15 +249,94 @@ class Environment:
             for callback in callbacks:
                 callback(event)
 
+    def step(self) -> None:
+        """Process the next scheduled queue entry and advance the clock.
+
+        Dispatch order: heap entries due at the current instant with priority
+        ``<= 1`` (their sequence numbers predate every bucket entry), then the
+        same-instant bucket in FIFO order, then the heap advances the clock.
+        A :class:`ScheduledBatch` re-inserts itself keyed by the next entry's
+        original sequence number, then fires the current entry — the queue is
+        already consistent while the delivery callback runs.
+        """
+        queue = self._queue
+        bucket = self._bucket
+        if bucket:
+            if not (queue and queue[0][0] == self._now and queue[0][1] <= 1):
+                self._dispatch(bucket.popleft())
+                return
+        elif not queue:
+            raise EmptySchedule()
+        entry = heapq.heappop(queue)
+        self._now = entry[0]
+        event = entry[3]
+        if type(event) is ScheduledBatch:
+            index = entry[4]
+            entries = event.entries
+            if index + 1 < len(entries):
+                heapq.heappush(queue, entries[index + 1])
+            event.fn(event.args[index])
+            return
+        self._dispatch(event)
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue empties or the clock reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        queue = self._queue
+        bucket = self._bucket
+        pool = self._callback_pool
+        pop = heapq.heappop
+        replace = heapq.heapreplace
+        popleft = bucket.popleft
+        dispatch = self._dispatch
+        while queue or bucket:
+            # Same-instant bucket first (unless a heap entry precedes it).
+            if bucket:
+                if not (queue and queue[0][0] == self._now and queue[0][1] <= 1):
+                    entry = popleft()
+                    if type(entry) is ScheduledCallback:
+                        fn, arg = entry.fn, entry.arg
+                        if len(pool) < _CALLBACK_POOL_MAX:
+                            entry.fn = entry.arg = None
+                            pool.append(entry)
+                        fn(arg)
+                    else:
+                        dispatch(entry)
+                    continue
+            elif until is not None and queue[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            head = queue[0]
+            event = head[3]
+            if type(event) is ScheduledBatch:
+                # Delivery train: swap the head for the train's next entry in
+                # one heapreplace sift (half the heap work of a pop + push),
+                # then fire.  Re-inserting *before* the callback runs keeps
+                # the queue consistent for anything the delivery schedules;
+                # entries key re-insertion by their original (pre-reserved,
+                # contiguous) sequence numbers, so the fire order is exactly
+                # what per-copy timers would produce, including ties.
+                self._now = head[0]
+                index = head[4]
+                try:
+                    # Zero-cost when it doesn't raise; only the last entry of
+                    # a train takes the IndexError path.
+                    replace(queue, event.entries[index + 1])
+                except IndexError:
+                    pop(queue)
+                event.fn(event.args[index])
+                continue
+            pop(queue)
+            self._now = head[0]
+            if type(event) is ScheduledCallback:
+                fn, arg = event.fn, event.arg
+                if len(pool) < _CALLBACK_POOL_MAX:
+                    event.fn = event.arg = None
+                    pool.append(event)
+                fn(arg)
+                continue
+            dispatch(event)
         if until is not None:
             self._now = until
 

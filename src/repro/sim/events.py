@@ -117,6 +117,38 @@ class ScheduledCallback:
         self.arg = arg
 
 
+class ScheduledBatch:
+    """A batched delivery train: one queue entry for many ``fn(arg)`` fires.
+
+    ``Network.broadcast`` used to schedule one pooled timer per copy — for a
+    200-node clique that is 199 heap pushes per broadcast and a heap whose
+    size grows with the whole in-flight fan-out.  A :class:`ScheduledBatch`
+    carries every copy of one broadcast as pre-built heap entries
+    ``(time, priority, sequence, self, index)`` sorted by fire order (with
+    the ``fn`` argument for each entry in the parallel ``args`` list) and
+    occupies a *single* heap slot: the kernel fires the head entry and
+    swaps in the next pre-built entry with one ``heapreplace`` — no
+    per-delivery tuple allocation, and the trailing ``index`` element makes
+    each entry self-describing so the train itself holds no mutable cursor.
+
+    Keying re-insertions by each entry's original sequence — reserved as a
+    contiguous block when the batch was scheduled — makes the fire order
+    *exactly* what per-copy timers would have produced, including ties with
+    unrelated events at the same instant.
+
+    Kernel-internal, like :class:`ScheduledCallback`: not an :class:`Event`,
+    cannot be yielded on or cancelled.  Schedule one only through
+    ``Environment.schedule_batch``.
+    """
+
+    __slots__ = ("entries", "args", "fn")
+
+    def __init__(self, fn: Callable[[Any], None]) -> None:
+        self.entries: list = []  # [(time, priority, sequence, self, index)]
+        self.args: list = []  # fn argument for each entry, same order
+        self.fn = fn
+
+
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created.
 

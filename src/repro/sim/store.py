@@ -19,6 +19,8 @@ class Store:
     items; non-matching items remain available for other getters.
     """
 
+    __slots__ = ("env", "_items", "_getters")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self._items: deque[Any] = deque()

@@ -275,3 +275,104 @@ def test_report_stdout_mode(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "no results recorded yet" in out
+
+
+# ---------------------------------------------------------------------------
+# simspeed perf-regression gate
+# ---------------------------------------------------------------------------
+from repro.experiments.speed import (  # noqa: E402
+    GATE_VARIANT,
+    check_simspeed,
+    load_baselines,
+)
+
+
+def _speed_rows(storm=400000, fig10=0.5, variant="current"):
+    return [
+        {"case": "fig10_large_n", "n": 40, "sim_s": 0.3, "wall_s": 0.6,
+         "sim_x_realtime": fig10, "variant": variant},
+        {"case": "broadcast_storm", "n": 100, "sim_s": 0.04, "wall_s": 0.1,
+         "deliveries_per_wall_s": storm, "variant": variant},
+    ]
+
+
+def _write_baseline_store(path, rows):
+    record = {"experiment": "simspeed", "config_id": "x", "params": {},
+              "rows": rows}
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+def test_gate_passes_when_fresh_matches_baseline():
+    baselines = {row["case"]: row for row in _speed_rows()}
+    assert check_simspeed(_speed_rows(), baselines) == []
+    # A drop inside the tolerance also passes.
+    assert check_simspeed(_speed_rows(storm=330000, fig10=0.42),
+                          baselines, tolerance=0.2) == []
+
+
+def test_gate_fails_on_injected_regression_row():
+    baselines = {row["case"]: row for row in _speed_rows()}
+    # Synthetic regression: the storm throughput collapses to half.
+    failures = check_simspeed(_speed_rows(storm=200000), baselines)
+    assert len(failures) == 1
+    assert "broadcast_storm" in failures[0]
+    assert "deliveries_per_wall_s" in failures[0]
+    # Both cases regressed -> both reported.
+    failures = check_simspeed(_speed_rows(storm=1000, fig10=0.01), baselines)
+    assert len(failures) == 2
+
+
+def test_gate_fails_when_baselined_case_is_missing():
+    baselines = {row["case"]: row for row in _speed_rows()}
+    failures = check_simspeed(_speed_rows()[:1], baselines)
+    assert failures == ["broadcast_storm: no fresh measurement for baselined case"]
+
+
+def test_gate_rejects_nonsense_tolerance():
+    with pytest.raises(ValueError):
+        check_simspeed([], {}, tolerance=1.0)
+    with pytest.raises(ValueError):
+        check_simspeed([], {}, tolerance=-0.1)
+
+
+def test_load_baselines_prefers_gate_variant_over_newer_rows(tmp_path):
+    path = tmp_path / "simspeed.jsonl"
+    _write_baseline_store(path, _speed_rows(storm=250000, variant=GATE_VARIANT))
+    _write_baseline_store(path, _speed_rows(storm=700000, variant="current"))
+    baselines = load_baselines(path)
+    # The newer, faster "current" rows do NOT raise the gate's floor: the
+    # committed gate-baseline rows win even though they are older.
+    assert baselines["broadcast_storm"]["deliveries_per_wall_s"] == 250000
+    # Without any gate-variant rows the newest row per case is used.
+    plain = tmp_path / "plain.jsonl"
+    _write_baseline_store(plain, _speed_rows(storm=100000))
+    _write_baseline_store(plain, _speed_rows(storm=120000))
+    assert load_baselines(plain)["broadcast_storm"]["deliveries_per_wall_s"] == 120000
+
+
+def test_simspeed_check_cli_passes_and_fails(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr("repro.experiments.speed.sim_speed",
+                        lambda repeats=3, variant="current":
+                        _speed_rows(variant=variant))
+    _write_baseline_store(tmp_path / "simspeed.jsonl",
+                          _speed_rows(variant=GATE_VARIANT))
+    argv = ["simspeed", "--check", "--repeats", "1",
+            "--results-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "simspeed gate passed" in capsys.readouterr().out
+    # Inject a synthetic regression baseline far above the measurement:
+    # the gate must exit nonzero and name the regressed case.
+    _write_baseline_store(tmp_path / "simspeed.jsonl",
+                          _speed_rows(storm=10**9, fig10=1000.0,
+                                      variant=GATE_VARIANT))
+    assert main(argv) == 1
+    assert "simspeed regression: broadcast_storm" in capsys.readouterr().err
+
+
+def test_simspeed_check_requires_a_baseline_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr("repro.experiments.speed.sim_speed",
+                        lambda repeats=3, variant="current": _speed_rows())
+    rc = main(["simspeed", "--check", "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "no baseline store" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Differential tests: batched kernel vs the KERNEL_REFERENCE slow path.
+
+The batched delivery train, the same-instant bucket and the block latency
+sampler are pure optimisations — the tentpole claim is *observational
+equivalence*: for every protocol and scenario the batched kernel must
+produce the exact delivery sequence, chain contents and state roots the
+pre-batching per-copy-timer kernel produces.  These tests run full
+scenarios under both kernels and compare every metric row field exactly
+(floats included: zero tolerance), plus the cross-node state root.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.library import SCENARIOS
+from repro.scenarios.runner import run_scenario
+from repro.sim import Environment
+from repro.sim.environment import KERNEL_REFERENCE_ENV
+
+
+def _rows(monkeypatch, name: str, reference: bool, **kwargs) -> list[dict]:
+    monkeypatch.setenv(KERNEL_REFERENCE_ENV, "1" if reference else "0")
+    return run_scenario(SCENARIOS[name], **kwargs)
+
+
+def _assert_identical(batched: list[dict], reference: list[dict]) -> None:
+    assert len(batched) == len(reference)
+    for fast, slow in zip(batched, reference):
+        assert set(fast) == set(slow)
+        for key in fast:
+            assert fast[key] == slow[key], (
+                f"kernel divergence on {key!r}: "
+                f"batched={fast[key]!r} reference={slow[key]!r}")
+
+
+@pytest.mark.parametrize("protocol", ["fireledger", "hotstuff", "bftsmart"])
+def test_paper_lan_identical_across_kernels(monkeypatch, protocol):
+    batched = _rows(monkeypatch, "paper-lan", False, protocol=protocol)
+    reference = _rows(monkeypatch, "paper-lan", True, protocol=protocol)
+    _assert_identical(batched, reference)
+    assert batched[0]["state_root"]
+
+
+def test_multiplexed_lanes_identical_across_kernels(monkeypatch):
+    batched = _rows(monkeypatch, "paper-lan", False, lanes=4)
+    reference = _rows(monkeypatch, "paper-lan", True, lanes=4)
+    _assert_identical(batched, reference)
+    assert batched[0]["state_root"]
+
+
+def test_rolling_crash_identical_across_kernels(monkeypatch):
+    """Fault-controller broadcasts keep the per-copy rng interleaving."""
+    batched = _rows(monkeypatch, "rolling-crash", False)
+    reference = _rows(monkeypatch, "rolling-crash", True)
+    _assert_identical(batched, reference)
+    assert batched[0]["state_root"]
+
+
+def test_byzantine_minority_identical_across_kernels(monkeypatch):
+    batched = _rows(monkeypatch, "byzantine-minority", False)
+    reference = _rows(monkeypatch, "byzantine-minority", True)
+    _assert_identical(batched, reference)
+    assert batched[0]["state_root"]
+
+
+def test_reference_env_var_forces_slow_kernel(monkeypatch):
+    monkeypatch.setenv(KERNEL_REFERENCE_ENV, "1")
+    assert Environment().reference
+    monkeypatch.setenv(KERNEL_REFERENCE_ENV, "0")
+    assert not Environment().reference
+    monkeypatch.delenv(KERNEL_REFERENCE_ENV)
+    assert not Environment().reference
+    # The constructor argument wins over the environment variable.
+    monkeypatch.setenv(KERNEL_REFERENCE_ENV, "1")
+    assert not Environment(reference=False).reference
+
+
+def test_reference_kernel_expands_batches_per_copy(monkeypatch):
+    """On the reference kernel a fan-out occupies one heap slot per copy."""
+    monkeypatch.delenv(KERNEL_REFERENCE_ENV, raising=False)
+    fired = []
+    batched = Environment()
+    batched.schedule_batch([1.0, 2.0, 3.0], ["a", "b", "c"], fired.append)
+    assert len(batched._queue) == 1  # noqa: SLF001 - one train slot
+    reference = Environment(reference=True)
+    reference.schedule_batch([1.0, 2.0, 3.0], ["a", "b", "c"], fired.append)
+    assert len(reference._queue) == 3  # noqa: SLF001 - per-copy timers
+    batched.run()
+    reference.run()
+    assert fired == ["a", "b", "c", "a", "b", "c"]

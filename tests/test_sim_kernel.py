@@ -277,3 +277,145 @@ def test_condition_detach_preserves_late_child_semantics(env):
     env.run()
     assert values == [["fast"]]
     assert env.now == pytest.approx(1.0)  # the slow timeout still fires
+
+
+# --------------------------------------------------------------------------
+# Negative-delay regressions: both scheduling entry points must reject
+# scheduling in the past (call_later used to accept negative delays and
+# silently violate causality).
+
+def test_negative_call_later_rejected(env):
+    with pytest.raises(ValueError):
+        env.call_later(-1e-9, lambda arg: None)
+
+
+def test_negative_schedule_event_delay_rejected(env):
+    with pytest.raises(ValueError):
+        env.schedule_event(env.event(), delay=-0.5)
+
+
+def test_zero_delay_call_later_runs_now(env):
+    fired = []
+    env.call_later(0.0, fired.append, "x")
+    env.run()
+    assert fired == ["x"]
+    assert env.now == 0.0
+
+
+# --------------------------------------------------------------------------
+# Property tests: the bucketed/batched event queue must behave exactly like
+# a stable sort of (time, priority, sequence) — and exactly like the
+# KERNEL_REFERENCE per-entry heap kernel.
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_DELAYS = st.sampled_from([0.0, 0.0, 0.25, 0.5, 1.0, 1.0 + 2**-40])
+_KINDS = st.sampled_from(["call_later", "timeout", "event"])
+
+
+def _schedule(env, ops, log):
+    """Schedule one (kind, delay) op per index; fires append to ``log``."""
+    for index, (kind, delay) in enumerate(ops):
+        if kind == "call_later":
+            env.call_later(delay, lambda arg: log.append(arg), index)
+        elif kind == "timeout":
+            env.timeout(delay).add_callback(
+                lambda event, index=index: log.append(index))
+        else:
+            event = env.event()
+            env.schedule_event(event, delay=delay)
+            event.add_callback(lambda event, index=index: log.append(index))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.tuples(_KINDS, _DELAYS), max_size=24))
+def test_fire_order_matches_stable_sort_oracle(ops):
+    env = Environment()
+    log = []
+    _schedule(env, ops, log)
+    env.run()
+    oracle = sorted(range(len(ops)), key=lambda i: ops[i][1])  # stable by time
+    assert log == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.tuples(_KINDS, _DELAYS), max_size=24))
+def test_batched_and_reference_kernels_fire_identically(ops):
+    logs = []
+    for reference in (False, True):
+        env = Environment(reference=reference)
+        log = []
+        _schedule(env, ops, log)
+        env.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(priorities=st.lists(st.sampled_from([0, 1, 2]), max_size=16))
+def test_same_instant_priorities_respected(priorities):
+    env = Environment()
+    log = []
+    for index, priority in enumerate(priorities):
+        event = env.event()
+        env.schedule_event(event, delay=0.25, priority=priority)
+        event.add_callback(lambda event, index=index: log.append(index))
+    env.run()
+    oracle = sorted(range(len(priorities)), key=lambda i: priorities[i])
+    assert log == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(trains=st.lists(st.lists(_DELAYS, min_size=1, max_size=8),
+                       min_size=1, max_size=5),
+       singles=st.lists(_DELAYS, max_size=8))
+def test_delivery_trains_interleave_like_per_copy_timers(trains, singles):
+    """schedule_batch must fire exactly like per-entry call_later timers."""
+    logs = []
+    for reference in (False, True):
+        env = Environment(reference=reference)
+        log = []
+        for train_id, times in enumerate(trains):
+            env.schedule_batch([t for t in times],
+                               [(train_id, i) for i in range(len(times))],
+                               log.append)
+        for index, delay in enumerate(singles):
+            env.call_later(delay, log.append, ("single", index))
+        env.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+    assert len(logs[0]) == sum(len(t) for t in trains) + len(singles)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.lists(st.tuples(_DELAYS, _DELAYS), max_size=12))
+def test_nested_scheduling_matches_reference_kernel(data):
+    """Callbacks that schedule further work mid-run stay kernel-agnostic."""
+    logs = []
+    for reference in (False, True):
+        env = Environment(reference=reference)
+        log = []
+        for index, (outer, inner) in enumerate(data):
+            def fire(arg, inner=inner):
+                log.append(arg)
+                env.call_later(inner, log.append, ("nested", arg))
+            env.call_later(outer, fire, index)
+        env.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+    assert len(logs[0]) == 2 * len(data)
+
+
+def test_same_timestamp_bucket_preserves_schedule_order(env):
+    """Zero-delay entries scheduled mid-run drain in FIFO order."""
+    log = []
+
+    def first(arg):
+        log.append("first")
+        env.call_later(0.0, lambda a: log.append("nested-1"), None)
+        env.call_later(0.0, lambda a: log.append("nested-2"), None)
+
+    env.call_later(0.5, first, None)
+    env.call_later(0.5, lambda a: log.append("second"), None)
+    env.run()
+    assert log == ["first", "second", "nested-1", "nested-2"]
