@@ -41,6 +41,7 @@ _AXIS_FLAGS = {
     "workers": registry.AXIS_WORKERS,
     "protocol": registry.AXIS_PROTOCOL,
     "lanes": registry.AXIS_LANES,
+    "backend": registry.AXIS_BACKEND,
 }
 
 
@@ -122,6 +123,11 @@ def _add_axis_options(parser: argparse.ArgumentParser) -> None:
                         metavar="M,M",
                         help="multiplexed consensus lane counts, e.g. 1,4 "
                              "(scenarios)")
+    parser.add_argument("--backend", type=_str_list, default=None,
+                        metavar="B,B",
+                        help="execution backend(s): sim (discrete-event, "
+                             "default) and/or realtime (live asyncio over "
+                             "loopback TCP; scenarios)")
     parser.add_argument("--axis", type=_axis_assignment, action="append",
                         default=None, metavar="NAME=V,V",
                         help="generic axis assignment, e.g. "

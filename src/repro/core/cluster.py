@@ -33,6 +33,9 @@ from repro.net.latency import GeoDistributedLatency, LatencyModel, SingleDatacen
 from repro.net.network import Network, NetworkStats
 from repro.sim import Environment
 
+#: The two implementations of the Environment/Network contract pair.
+BACKENDS = ("sim", "realtime")
+
 
 @dataclass
 class ClusterResult:
@@ -146,7 +149,8 @@ def run_cluster(config: FireLedgerConfig,
                 fault_controller: Optional[FaultController] = None,
                 latency_trim: float = 0.0,
                 setup: Optional[Callable[[Environment, Network, list], None]] = None,
-                excluded_nodes: Optional[Iterable[int]] = None) -> ClusterResult:
+                excluded_nodes: Optional[Iterable[int]] = None,
+                backend: str = "sim") -> ClusterResult:
     """Build, run and summarise one cluster under any registered protocol.
 
     ``protocol`` is a registry name (``"fireledger"``, ``"hotstuff"``,
@@ -165,6 +169,12 @@ def run_cluster(config: FireLedgerConfig,
     of nodes left out of the aggregated metrics beyond the crash schedule's
     victims and the Byzantine nodes — e.g. nodes a fault timeline crashes
     without ever recovering.
+
+    ``backend`` selects the Environment/Network implementation pair:
+    ``"sim"`` (the default) is the deterministic discrete-event kernel;
+    ``"realtime"`` runs the identical protocol stack live — wall-clock
+    asyncio timers and loopback TCP sockets (:mod:`repro.runtime`), with
+    ``duration`` and ``warmup`` measured in real seconds.
     """
     from repro import protocols as protocol_registry  # lazy: avoids a cycle
 
@@ -182,15 +192,27 @@ def run_cluster(config: FireLedgerConfig,
         raise ValueError(f"protocol {impl.name!r} needs at least "
                          f"{impl.min_nodes} nodes (got {config.n_nodes})")
 
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
     rng = random.Random(seed)
-    env = Environment()
     if latency_model is None:
         latency_model = (GeoDistributedLatency() if geo_distributed
                          else SingleDatacenterLatency())
-    network = Network(env, config.n_nodes, latency_model=latency_model,
-                      machine=config.machine,
-                      rng=random.Random(rng.randrange(2 ** 62)),
-                      fault_controller=fault_controller)
+    network_rng = random.Random(rng.randrange(2 ** 62))
+    if backend == "realtime":
+        from repro.runtime import RealtimeEnvironment, RealtimeNetwork
+
+        env = RealtimeEnvironment()
+        network = RealtimeNetwork(env, config.n_nodes,
+                                  latency_model=latency_model,
+                                  machine=config.machine, rng=network_rng,
+                                  fault_controller=fault_controller)
+    else:
+        env = Environment()
+        network = Network(env, config.n_nodes, latency_model=latency_model,
+                          machine=config.machine, rng=network_rng,
+                          fault_controller=fault_controller)
     keystore = KeyStore(config.n_nodes)
 
     byzantine = frozenset(byzantine_nodes or ())
@@ -220,7 +242,14 @@ def run_cluster(config: FireLedgerConfig,
     if setup is not None:
         setup(env, network, nodes)
 
-    env.run(until=duration)
+    try:
+        env.run(until=duration)
+    finally:
+        # The realtime backend owns an event loop; release it (its `now`
+        # stays frozen at the deadline for the summarisation below).
+        closer = getattr(env, "close", None)
+        if closer is not None:
+            closer()
 
     excluded = set()
     if crash_schedule is not None:

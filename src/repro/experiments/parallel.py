@@ -26,6 +26,8 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -115,6 +117,35 @@ def merge_shards(results_dir: "str | Path", experiment: str,
     return len(pending)
 
 
+def _ignore_sigint() -> None:
+    """Pool-worker initializer: leave Ctrl-C handling to the parent.
+
+    A terminal delivers SIGINT to the whole process group; if workers died
+    from it directly they could be killed between buffering a record and
+    flushing it.  With SIGINT ignored, workers only stop when the parent's
+    pool teardown terminates them — after the parent's ``KeyboardInterrupt``
+    has started the ``finally: merge_shards`` path.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _append_shard_line(shard: Path, payload: dict) -> None:
+    """Append one wrapper line with a single unbuffered ``os.write``.
+
+    Buffered appends can be truncated mid-record when the worker is killed
+    between partial flushes; one ``write(2)`` of the whole line to an
+    ``O_APPEND`` descriptor either lands entirely or (if the kill arrives
+    first) not at all, so a hard kill costs at most the record being
+    computed — never one already reported finished.
+    """
+    data = (json.dumps(payload, default=str) + "\n").encode()
+    fd = os.open(shard, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
 def _run_sweep_task(task: tuple) -> tuple[int, str, int, float, str]:
     """Worker body: run one grid point, append it to this worker's shard."""
     idx, spec_name, scale, point, params, scale_label, shard_base = task
@@ -126,10 +157,7 @@ def _run_sweep_task(task: tuple) -> tuple[int, str, int, float, str]:
                          elapsed_s=elapsed)
     shard = Path(shard_base) / f"{file_stem(spec_name)}.{os.getpid()}.jsonl"
     shard.parent.mkdir(parents=True, exist_ok=True)
-    with shard.open("a") as handle:
-        handle.write(json.dumps({"idx": idx, "record": record},
-                                default=str) + "\n")
-        handle.flush()
+    _append_shard_line(shard, {"idx": idx, "record": record})
     label = ", ".join(f"{k}={v}" for k, v in sorted(params.items())) or "(base)"
     return idx, record["config_id"], len(rows), elapsed, label
 
@@ -183,14 +211,28 @@ def run_parallel_sweep(spec: ExperimentSpec,
     if tasks:
         jobs = max(1, min(jobs, len(tasks)))
         context = _pool_context()
+        # SIGTERM (timeout wrappers, CI runner cancellation) is converted to
+        # KeyboardInterrupt for the duration of the pool, so it unwinds
+        # through the same finally as Ctrl-C and the finished shards are
+        # merged instead of orphaned.  Only the main thread may install
+        # signal handlers; elsewhere (pytest workers, embedding apps) the
+        # default disposition stays.
+        previous_term = None
+        if threading.current_thread() is threading.main_thread():
+            def _terminate(signum, frame):  # noqa: ARG001 - signal signature
+                raise KeyboardInterrupt
+            previous_term = signal.signal(signal.SIGTERM, _terminate)
         try:
-            with context.Pool(processes=jobs) as pool:
+            with context.Pool(processes=jobs,
+                              initializer=_ignore_sigint) as pool:
                 for _idx, _cid, n_rows, elapsed, label in pool.imap_unordered(
                         _run_sweep_task, tasks):
                     ran += 1
                     emit(f"ran  {spec.name} [{label}] -> {n_rows} rows "
                          f"in {elapsed:.1f}s ({ran}/{len(tasks)})")
         finally:
+            if previous_term is not None:
+                signal.signal(signal.SIGTERM, previous_term)
             # Keep whatever the workers finished, even if one of them (or the
             # pool itself) blew up mid-sweep.  A --fresh sweep recomputes
             # points whose config_id is already on disk, so its records must

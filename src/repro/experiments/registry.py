@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
-from repro.experiments import figures, memory, speed
+from repro.experiments import calibrate, figures, memory, speed
 from repro.experiments.harness import ExperimentScale
 
 # Canonical axis names, shared by the CLI flags and the sweep engine.
@@ -33,8 +33,11 @@ AXIS_WORKERS = "workers"
 AXIS_PROTOCOL = "protocol"
 #: Multiplexed-consensus lane count (scenario drivers only).
 AXIS_LANES = "lanes"
+#: Execution backend — ``"sim"`` (discrete-event) or ``"realtime"`` (live
+#: asyncio/TCP runtime).  Scenario drivers only; string-valued like protocol.
+AXIS_BACKEND = "backend"
 AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS, AXIS_PROTOCOL,
-        AXIS_LANES)
+        AXIS_LANES, AXIS_BACKEND)
 
 
 @dataclass(frozen=True)
@@ -261,6 +264,14 @@ def _register_all() -> None:
         title="Memory footprint — bounded retention vs keep-everything",
         axes={AXIS_CLUSTER: _kwarg_axis("n_nodes")},
         wall_clock=True))
+    register(ExperimentSpec(
+        name="calibrate", func=calibrate.calibrate_backends,
+        title="Calibration — live realtime backend vs the simulator",
+        axes={AXIS_CLUSTER: _kwarg_axis("n_nodes"),
+              AXIS_WORKERS: _kwarg_axis("workers"),
+              AXIS_PROTOCOL: _kwarg_axis("protocol"),
+              AXIS_LANES: _kwarg_axis("lanes")},
+        wall_clock=True, pins_duration=True))
     _register_scenarios()
 
 
@@ -284,12 +295,17 @@ def _register_scenarios() -> None:
             axes={AXIS_CLUSTER: _kwarg_axis("n_nodes"),
                   AXIS_WORKERS: _kwarg_axis("workers"),
                   AXIS_PROTOCOL: _kwarg_axis("protocol"),
-                  AXIS_LANES: _kwarg_axis("lanes")},
+                  AXIS_LANES: _kwarg_axis("lanes"),
+                  AXIS_BACKEND: _kwarg_axis("backend")},
             pins_duration=True,
+            # backend=sim is canonicalized out of config_id so committed
+            # records (which predate the axis) resume unchanged against
+            # explicit ``--backend sim`` spellings.
             axis_defaults={AXIS_CLUSTER: spec.n_nodes,
                            AXIS_WORKERS: spec.workers,
                            AXIS_PROTOCOL: spec.protocol,
-                           AXIS_LANES: spec.lanes.count}))
+                           AXIS_LANES: spec.lanes.count,
+                           AXIS_BACKEND: "sim"}))
 
 
 _register_all()

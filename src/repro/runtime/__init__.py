@@ -1,0 +1,14 @@
+"""Real-time runtime: the sim contracts implemented over asyncio + TCP.
+
+The second backend of the reproduction.  :class:`RealtimeEnvironment` runs
+the :class:`~repro.sim.environment.Environment` contract on a wall-clock
+asyncio loop, and :class:`RealtimeNetwork` carries the
+:class:`~repro.net.network.Network` contract over length-prefixed frames on
+loopback TCP sockets.  ``run_cluster(backend="realtime")`` swaps the pair in;
+protocol, scenario, workload, metrics and execution code run unchanged.
+"""
+
+from repro.runtime.environment import RealtimeEnvironment
+from repro.runtime.network import RealtimeEndpoint, RealtimeNetwork
+
+__all__ = ["RealtimeEnvironment", "RealtimeEndpoint", "RealtimeNetwork"]

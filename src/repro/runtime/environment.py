@@ -1,0 +1,245 @@
+"""Wall-clock environment: the sim kernel contract over an asyncio loop.
+
+:class:`RealtimeEnvironment` is the second implementation of the
+:class:`~repro.sim.environment.Environment` contract (docstring-hardened in
+earlier PRs precisely so it could be implemented twice).  Time is the event
+loop's monotonic clock, re-based so ``now`` starts at ``initial_time`` when
+the environment is constructed; timers (``call_later`` / ``schedule_event`` /
+``timeout``) become ``loop.call_later`` handles.  Everything layered on the
+kernel primitives — :class:`~repro.sim.process.Process` generators,
+:class:`~repro.sim.store.Store` mailboxes, :class:`~repro.sim.resource.Resource`
+CPU slots, ``any_of``/``all_of`` conditions — is inherited unchanged: those
+classes only ever talk to ``schedule_event``/``timeout``/``now``, so the same
+protocol code drives either backend.
+
+Differences from the simulated kernel, by necessity:
+
+* ``run(until=...)`` requires an explicit deadline — a wall clock never
+  "runs out of events" — and takes ``until`` seconds of real time.
+* ``priority`` tie-breaks are ignored: the wall clock never produces the
+  same-instant ties the simulator resolves with them.
+* ``peek()`` and ``step()`` raise — there is no lookahead and no
+  single-stepping of real time.
+
+Exceptions raised by process callbacks land in asyncio's loop exception
+handler rather than propagating through the dispatch stack; the environment
+captures the first one, stops the run early, and re-raises it from ``run``
+when ``strict_errors`` is set — same observable contract as the simulator.
+
+The environment owns a private event loop (never the thread's default), and
+:class:`~repro.runtime.network.RealtimeNetwork` registers startup/shutdown
+hooks on it so servers bind before the deadline clock starts and sockets are
+torn down before ``run`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.sim.environment import Environment
+
+
+class RealtimeEnvironment(Environment):
+    """Run the simulation contract in real time on a private asyncio loop."""
+
+    __slots__ = ("_loop", "_origin", "_frozen_now", "_startup_hooks",
+                 "_shutdown_hooks", "_error", "_failure", "_stopping")
+
+    def __init__(self, initial_time: float = 0.0,
+                 strict_errors: bool = True) -> None:
+        super().__init__(initial_time=initial_time,
+                         strict_errors=strict_errors, reference=False)
+        self._loop = asyncio.new_event_loop()
+        self._loop.set_exception_handler(self._on_loop_exception)
+        self._origin = self._loop.time() - float(initial_time)
+        self._frozen_now: Optional[float] = None
+        self._startup_hooks: list[Callable[[], Awaitable[None]]] = []
+        self._shutdown_hooks: list[Callable[[], Awaitable[None]]] = []
+        self._error: Optional[BaseException] = None
+        self._failure: Optional[asyncio.Event] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the environment was constructed.
+
+        Frozen at the ``until`` deadline once :meth:`run` returns, so
+        post-run summarisation (metric windows, backlog formulas) sees the
+        same stable end-of-run clock the simulator provides.
+        """
+        frozen = self._frozen_now
+        if frozen is not None:
+            return frozen
+        return self._loop.time() - self._origin
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The private event loop (transport layers schedule I/O on it)."""
+        return self._loop
+
+    @property
+    def stopping(self) -> bool:
+        """True once the run deadline has passed and scheduling went inert."""
+        return self._stopping
+
+    # ------------------------------------------------------------ scheduling
+    def call_later(self, delay: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` real seconds.
+
+        Once the run deadline has passed (``stopping``), scheduling is a
+        no-op: an oversubscribed run can hold a large ready backlog at the
+        deadline, and callbacks that keep rescheduling (round timers, vote
+        chains) would race the shutdown drain forever.  Going inert matches
+        the simulator, which simply leaves post-``until`` events unprocessed.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if self._stopping:
+            return
+        self._loop.call_later(delay, fn, arg)
+
+    def schedule_event(self, event: Any, delay: float = 0.0,
+                       priority: int = 1) -> None:
+        """Queue ``event`` for dispatch ``delay`` real seconds from now.
+
+        ``priority`` is accepted for contract compatibility but ignored:
+        real timers never fire at exactly the same instant, so the
+        simulator's same-instant tie-break has nothing to break.  Inert
+        after the deadline, like :meth:`call_later`.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if self._stopping:
+            return
+        if delay <= 0:
+            self._loop.call_soon(self._dispatch, event)
+        else:
+            self._loop.call_later(delay, self._dispatch, event)
+
+    def schedule_batch(self, times: list, args: list,
+                       fn: Callable[[Any], None]) -> None:
+        """Schedule ``fn(args[i])`` at each absolute time ``times[i]``."""
+        if self._stopping:
+            return
+        now = self.now
+        call_later = self._loop.call_later
+        for when, arg in zip(times, args):
+            call_later(max(0.0, when - now), fn, arg)
+
+    def peek(self) -> float:
+        raise NotImplementedError(
+            "RealtimeEnvironment has no event lookahead: the wall clock, "
+            "not a queue, decides what fires next")
+
+    def step(self) -> None:
+        raise NotImplementedError(
+            "RealtimeEnvironment cannot single-step real time; use "
+            "run(until=...)")
+
+    # ----------------------------------------------------------------- hooks
+    def add_startup_hook(self, hook: Callable[[], Awaitable[None]]) -> None:
+        """Run ``await hook()`` on the loop before the run deadline starts."""
+        self._startup_hooks.append(hook)
+
+    def add_shutdown_hook(self, hook: Callable[[], Awaitable[None]]) -> None:
+        """Run ``await hook()`` on the loop as the run winds down."""
+        self._shutdown_hooks.append(hook)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the loop for real time until ``now`` reaches ``until``.
+
+        Unlike the simulator, a deadline is mandatory — a wall clock never
+        drains its queue.  Startup hooks (network servers binding their
+        ports) complete before the wait begins; shutdown hooks and a cancel
+        sweep of leftover tasks run before this returns, so no sockets or
+        tasks outlive the call.  The first exception captured from any
+        callback or transport task aborts the wait and is re-raised here
+        when ``strict_errors`` is set.
+        """
+        if until is None:
+            raise ValueError(
+                "RealtimeEnvironment.run requires an explicit 'until' "
+                "deadline: real time has no empty-queue stopping point")
+        if until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        loop = self._loop
+        if loop.is_closed():
+            raise RuntimeError("environment already closed")
+        self._frozen_now = None
+        self._stopping = False
+        # A loop saturated with ready callbacks can starve its own timers,
+        # including the deadline timer; a watchdog thread flips the inert
+        # flag at the deadline no matter how congested the loop is (writing
+        # one bool is atomic under the GIL), which stops the backlog from
+        # growing and lets the in-loop deadline fire.
+        watchdog = threading.Timer(max(0.0, until - self.now), self._go_inert)
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            loop.run_until_complete(self._main(until))
+            self._cancel_leftovers(loop)
+        finally:
+            watchdog.cancel()
+            self._frozen_now = until
+        if self._error is not None:
+            error, self._error = self._error, None
+            if self.strict_errors:
+                raise error
+
+    def close(self) -> None:
+        """Close the private event loop.  The environment is dead after this."""
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    async def _main(self, until: float) -> None:
+        self._failure = asyncio.Event()
+        try:
+            for hook in list(self._startup_hooks):
+                await hook()
+            while self._error is None:
+                remaining = until - self.now
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(self._failure.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            self._stopping = True
+            self._failure = None
+            for hook in list(self._shutdown_hooks):
+                try:
+                    await hook()
+                except Exception as error:  # noqa: BLE001 - recorded, re-raised by run
+                    if self._error is None:
+                        self._error = error
+
+    def _go_inert(self) -> None:
+        self._stopping = True
+
+    def _cancel_leftovers(self, loop: asyncio.AbstractEventLoop) -> None:
+        pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+        if not pending:
+            return
+        for task in pending:
+            task.cancel()
+        loop.run_until_complete(
+            asyncio.gather(*pending, return_exceptions=True))
+
+    def _on_loop_exception(self, loop: asyncio.AbstractEventLoop,
+                           context: dict) -> None:
+        error = context.get("exception")
+        if error is None:
+            error = RuntimeError(context.get("message")
+                                 or "unhandled error in the realtime loop")
+        if self._error is None:
+            self._error = error
+        failure = self._failure
+        if failure is not None:
+            failure.set()

@@ -1,0 +1,340 @@
+"""Real TCP network implementing the simulated ``Network`` contract.
+
+Same surface, real sockets: :class:`RealtimeNetwork` exposes the exact
+attribute set protocols and the cluster runner consume from
+:class:`~repro.net.network.Network` — ``endpoints`` / ``endpoint()``,
+``send`` / ``broadcast`` with the documented drop contracts, ``crash`` /
+``recover`` / ``is_crashed``, ``stats``, ``machine``, ``rng``,
+``latency_model``, ``fault_controller`` — but a message physically crosses a
+loopback TCP connection between two asyncio tasks (see
+:mod:`repro.runtime.transport`) instead of riding the simulator's queue.
+
+What stays modeled and what becomes real:
+
+* **Propagation latency** stays modeled.  Loopback delivers in microseconds;
+  to keep WAN scenarios meaningful the sender samples the latency model (plus
+  the fault controller's ``extra_delay``) exactly as the simulator does and
+  ships the sampled delay inside the frame; the receiver holds the message
+  until ``sent_at + delay`` before handing it to the endpoint.  Real socket
+  transit time is absorbed into that hold (or adds to it when the wire is
+  slower than the model — that difference is the calibration gap).
+* **NIC serialisation** becomes real.  There is no reserve-based occupancy
+  model; backpressure comes from actual socket buffers.  ``nic_backlog`` and
+  ``bulk_egress_completion`` — the two occupancy views FireLedger's flow
+  control reads — are derived from the transport's queued outbound bytes at
+  the machine spec's egress bandwidth.
+* **CPU cost** becomes real twice over: protocols still charge their modeled
+  crypto costs through ``endpoint.cpu.use(...)`` (now a wall-clock sleep),
+  and the Python work of running the protocol occupies the loop for however
+  long it actually takes.
+
+Drop contracts match the simulator's docstrings: a crashed sender's ``send``
+returns ``None`` with nothing recorded (``broadcast`` returns ``[]``); a
+fault-controller drop is decided before anything is queued and counts as one
+sent and one dropped; copies bound for a crashed receiver count as dropped at
+the transport.  ``crash`` closes the node's sockets and discards queued
+frames; ``recover`` rebinds the same port with an empty backlog.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from typing import Any, Optional
+
+from repro.crypto.cost_model import M5_XLARGE, MachineSpec
+from repro.net.faults import FaultController
+from repro.net.latency import LatencyModel, SingleDatacenterLatency
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+from repro.net.network import NetworkStats
+from repro.runtime.environment import RealtimeEnvironment
+from repro.runtime.transport import NodeTransport
+from repro.sim import Resource, Store
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+class RealtimeEndpoint:
+    """Per-node attachment point backed by a TCP transport.
+
+    Mirrors :class:`~repro.net.network.Endpoint`: same mailbox / ``cpu`` /
+    ``router`` / ``crashed`` / byte counters, but the NIC occupancy views are
+    computed from real queued socket traffic instead of reserved lane time.
+    """
+
+    __slots__ = ("env", "node_id", "machine", "mailbox", "cpu", "crashed",
+                 "bytes_sent", "bytes_received", "router", "transport")
+
+    def __init__(self, env: RealtimeEnvironment, node_id: int,
+                 machine: MachineSpec) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.machine = machine
+        self.mailbox = Store(env)
+        self.cpu = Resource(env, capacity=machine.cores)
+        self.crashed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Optional callable replacing default mailbox delivery (FLO routers).
+        self.router = None
+        #: Attached by :class:`RealtimeNetwork` right after construction.
+        self.transport: Optional[NodeTransport] = None
+
+    def deliver(self, message: Message) -> None:
+        """Hand an incoming message to the router (or the default mailbox)."""
+        if self.router is not None:
+            self.router(message)
+        else:
+            self.mailbox.put(message)
+
+    def reset_lanes(self) -> None:
+        """Discard queued egress: the recover contract's empty-NIC guarantee."""
+        if self.transport is not None:
+            self.transport.clear_backlog()
+
+    @property
+    def nic_backlog(self) -> float:
+        """Seconds of queued egress at the machine spec's NIC bandwidth."""
+        if self.transport is None:
+            return 0.0
+        return self.transport.queued_bytes / self.machine.egress_bandwidth
+
+    @property
+    def ingress_backlog(self) -> float:
+        """Receive-side queueing is the kernel's, not ours: report none."""
+        return 0.0
+
+    @property
+    def bulk_egress_completion(self) -> float:
+        """Estimated time everything currently queued will have been sent."""
+        return self.env.now + self.nic_backlog
+
+
+class RealtimeNetwork:
+    """Fully connected loopback-TCP network between ``n_nodes`` endpoints."""
+
+    def __init__(self, env: RealtimeEnvironment, n_nodes: int,
+                 latency_model: Optional[LatencyModel] = None,
+                 machine: MachineSpec = M5_XLARGE,
+                 rng: Optional[random.Random] = None,
+                 fault_controller: Optional[FaultController] = None) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.env = env
+        self.n_nodes = n_nodes
+        self.latency_model = latency_model or SingleDatacenterLatency()
+        self.machine = machine
+        self.rng = rng or random.Random(0)
+        self.fault_controller = fault_controller
+        self.stats = NetworkStats()
+        self.endpoints = [RealtimeEndpoint(env, node_id, machine)
+                          for node_id in range(n_nodes)]
+        self.transports = [NodeTransport(self, node_id)
+                           for node_id in range(n_nodes)]
+        for endpoint, transport in zip(self.endpoints, self.transports):
+            endpoint.transport = transport
+        self._ports: list[Optional[int]] = [None] * n_nodes
+        env.add_startup_hook(self._start)
+        env.add_shutdown_hook(self._stop)
+
+    # ----------------------------------------------------------------- nodes
+    def endpoint(self, node_id: int) -> RealtimeEndpoint:
+        """The endpoint of ``node_id``."""
+        return self.endpoints[node_id]
+
+    def port_of(self, node_id: int) -> Optional[int]:
+        """The TCP port ``node_id`` listens on, or ``None`` while down."""
+        return self._ports[node_id]
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node: close its sockets, drop everything queued for it."""
+        endpoint = self.endpoints[node_id]
+        endpoint.crashed = True
+        dropped = self.transports[node_id].clear_backlog()
+        for transport in self.transports:
+            if transport.node_id == node_id:
+                continue
+            link = transport.links.get(node_id)
+            if link is not None:
+                dropped += link.clear()
+        self.stats.messages_dropped += dropped
+        self._spawn(self.transports[node_id].stop())
+
+    def recover(self, node_id: int) -> None:
+        """Undo a crash: rebind the same port with an empty egress backlog."""
+        endpoint = self.endpoints[node_id]
+        endpoint.crashed = False
+        endpoint.reset_lanes()
+        self._spawn(self.transports[node_id].start())
+
+    def is_crashed(self, node_id: int) -> bool:
+        """Whether ``node_id`` has crashed."""
+        return self.endpoints[node_id].crashed
+
+    # ------------------------------------------------------------------ send
+    def send(self, sender: int, receiver: int, channel: str, kind: str,
+             payload: Any,
+             size_bytes: int = MESSAGE_OVERHEAD_BYTES) -> Optional[Message]:
+        """Send one message; returns it, or ``None`` if it was dropped.
+
+        Same contract as the simulator: ``None`` means the sender has
+        crashed (nothing recorded) or the fault controller dropped the
+        message before it was queued (one sent, one dropped in ``stats``).
+        A non-``None`` return only promises the message is in flight.
+        """
+        if not 0 <= sender < self.n_nodes or not 0 <= receiver < self.n_nodes:
+            raise ValueError(
+                f"invalid endpoint ids sender={sender} receiver={receiver}")
+        source = self.endpoints[sender]
+        if source.crashed:
+            return None
+        now = self.env.now
+        message = Message(sender=sender, receiver=receiver, channel=channel,
+                          kind=kind, payload=payload, size_bytes=size_bytes,
+                          sent_at=now)
+        self.stats.record_send(message)
+
+        if sender == receiver:
+            # Local loopback: no socket, delivered on the next loop pass.
+            self.env.call_later(0.0, self._deliver_local, message)
+            return message
+
+        if self.fault_controller is not None and self.fault_controller.should_drop(
+                message, now, self.rng):
+            self.stats.messages_dropped += 1
+            return None
+
+        delay = (self.latency_model.sample(sender, receiver, self.rng)
+                 + self.latency_model.transfer_delay(sender, receiver,
+                                                     message.size_bytes))
+        if self.fault_controller is not None:
+            delay += self.fault_controller.extra_delay(message, now, self.rng)
+        self._transmit(message, delay)
+        return message
+
+    def broadcast(self, sender: int, channel: str, kind: str, payload: Any,
+                  size_bytes: int = MESSAGE_OVERHEAD_BYTES,
+                  include_self: bool = False) -> list[Message]:
+        """Send the same payload to every other node over real sockets.
+
+        The payload is pickled once and the bytes shared across all frames;
+        each receiver unpickles its own copy, so — unlike the simulator's
+        shared-object delivery — no two nodes can alias mutable state.
+        Crashed senders return ``[]``; fault-dropped copies are excluded
+        from the returned list, as documented on the simulated network.
+        """
+        if not 0 <= sender < self.n_nodes:
+            raise ValueError(f"invalid endpoint id sender={sender}")
+        source = self.endpoints[sender]
+        if source.crashed:
+            return []
+        env = self.env
+        now = env.now
+        fault = self.fault_controller
+        model = self.latency_model
+        rng = self.rng
+        payload_bytes: Optional[bytes] = None
+        messages: list[Message] = []
+        sent = dropped = 0
+        for receiver in range(self.n_nodes):
+            if receiver == sender:
+                if not include_self:
+                    continue
+                message = Message(sender=sender, receiver=sender,
+                                  channel=channel, kind=kind, payload=payload,
+                                  size_bytes=size_bytes, sent_at=now)
+                sent += 1
+                env.call_later(0.0, self._deliver_local, message)
+                messages.append(message)
+                continue
+            message = Message(sender=sender, receiver=receiver,
+                              channel=channel, kind=kind, payload=payload,
+                              size_bytes=size_bytes, sent_at=now)
+            sent += 1
+            if fault is not None and fault.should_drop(message, now, rng):
+                dropped += 1
+                continue
+            delay = model.sample(sender, receiver, rng) + model.transfer_delay(
+                sender, receiver, message.size_bytes)
+            if fault is not None:
+                delay += fault.extra_delay(message, now, rng)
+            if payload_bytes is None:
+                payload_bytes = pickle.dumps(payload, _PICKLE)
+            self._transmit(message, delay, payload_bytes)
+            messages.append(message)
+        self.stats.messages_sent += sent
+        self.stats.messages_dropped += dropped
+        if sent:
+            wire_bytes = max(size_bytes, MESSAGE_OVERHEAD_BYTES)
+            self.stats.bytes_sent += sent * wire_bytes
+            key = (channel, kind)
+            self.stats.per_kind[key] = self.stats.per_kind.get(key, 0) + sent
+        return messages
+
+    # -------------------------------------------------------------- transport
+    def _transmit(self, message: Message, delay: float,
+                  payload_bytes: Optional[bytes] = None) -> None:
+        """Frame ``message`` and queue it on the sender's link to the peer."""
+        if self.env.stopping:
+            return  # the run is over: nothing new goes on the wire
+        if self.endpoints[message.receiver].crashed:
+            # In-flight copy to a crashed node: dropped, as in the simulator.
+            self.stats.messages_dropped += 1
+            return
+        if payload_bytes is None:
+            payload_bytes = pickle.dumps(message.payload, _PICKLE)
+        frame = pickle.dumps(
+            (message.sender, message.receiver, message.channel, message.kind,
+             message.size_bytes, message.sent_at, delay, payload_bytes),
+            _PICKLE)
+        self.endpoints[message.sender].bytes_sent += message.size_bytes
+        self.transports[message.sender].link_to(message.receiver).enqueue(frame)
+
+    def _on_frame(self, data: bytes) -> None:
+        """Reassemble an arriving frame; deliver once its modeled delay is up."""
+        (sender, receiver, channel, kind, size_bytes, sent_at, delay,
+         payload_bytes) = pickle.loads(data)
+        endpoint = self.endpoints[receiver]
+        if endpoint.crashed:
+            self.stats.messages_dropped += 1
+            return
+        message = Message(sender=sender, receiver=receiver, channel=channel,
+                          kind=kind, payload=pickle.loads(payload_bytes),
+                          size_bytes=size_bytes, sent_at=sent_at)
+        remaining = (sent_at + delay) - self.env.now
+        self.env.call_later(max(0.0, remaining), self._deliver_local, message)
+
+    def _deliver_local(self, message: Message) -> None:
+        """Final delivery step: counters, timestamps, router or mailbox."""
+        destination = self.endpoints[message.receiver]
+        if destination.crashed:
+            self.stats.messages_dropped += 1
+            return
+        message.delivered_at = self.env.now
+        destination.bytes_received += message.size_bytes
+        self.stats.messages_delivered += 1
+        destination.deliver(message)
+
+    def _count_transport_drop(self) -> None:
+        """A frame died on the wire (peer crash or wedged connection)."""
+        self.stats.messages_dropped += 1
+
+    # ------------------------------------------------------------------ hooks
+    def _spawn(self, coro) -> None:
+        """Run a transport lifecycle coroutine if the loop is live."""
+        loop = self.env.loop
+        if loop.is_running():
+            loop.create_task(coro)
+        else:
+            # Before/after the run there is no live socket state to mutate;
+            # the flag flips above are the whole effect.
+            coro.close()
+
+    async def _start(self) -> None:
+        for endpoint, transport in zip(self.endpoints, self.transports):
+            if not endpoint.crashed:
+                await transport.start()
+
+    async def _stop(self) -> None:
+        for transport in self.transports:
+            await transport.stop()

@@ -1,0 +1,258 @@
+"""Loopback TCP transport: framed streams between per-node asyncio tasks.
+
+One :class:`NodeTransport` per node, all in one process.  Each transport
+binds a TCP server on ``127.0.0.1`` (an ephemeral port on first start, the
+*same* port again after a crash/recover cycle, so peers reconnect without a
+directory service) and keeps one outbound :class:`Link` per peer.  A link is
+a byte queue drained by a writer task: it connects lazily with exponential
+retry/backoff (the peer's server may not have bound yet, or may be mid
+recovery), applies a send timeout so one wedged connection cannot hang the
+sender forever, and drops its queue when the peer crashes.
+
+Frames are length-prefixed pickles; the network layer above decides what
+goes into a frame and how an arriving frame is delivered.  Crash semantics
+are physical: ``stop`` closes the listening socket and every accepted
+connection, cancels the writer tasks and clears all outbound queues —
+whatever was buffered dies with the process, exactly the contract the
+simulated backend documents for ``recover`` resetting NIC backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.network import RealtimeNetwork
+
+#: Length prefix framing: one unsigned 32-bit big-endian byte count.
+FRAME_HEADER = struct.Struct(">I")
+
+#: First connect retry delay; doubles per failure up to the cap.
+CONNECT_RETRY_INITIAL = 0.02
+CONNECT_RETRY_MAX = 0.5
+
+#: A write that cannot drain within this many seconds counts as failed.
+SEND_TIMEOUT = 5.0
+
+#: Refuse frames beyond this size: a corrupt length prefix must not make the
+#: receiver try to buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+LOOPBACK_HOST = "127.0.0.1"
+
+
+class Link:
+    """One directed sender-to-peer connection with an outbound frame queue."""
+
+    __slots__ = ("transport", "receiver", "queue", "queued_bytes",
+                 "_wake", "_task", "_writer", "_stopped")
+
+    def __init__(self, transport: "NodeTransport", receiver: int) -> None:
+        self.transport = transport
+        self.receiver = receiver
+        self.queue: deque[bytes] = deque()
+        self.queued_bytes = 0
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._stopped = False
+
+    def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._stopped = False
+        if self._task is None or self._task.done():
+            self._task = loop.create_task(
+                self._run(), name=f"link-{self.transport.node_id}-"
+                                  f"to-{self.receiver}")
+
+    def enqueue(self, frame: bytes) -> None:
+        self.queue.append(frame)
+        self.queued_bytes += len(frame)
+        self._wake.set()
+
+    def clear(self) -> int:
+        """Drop every queued frame; returns how many were discarded."""
+        dropped = len(self.queue)
+        self.queue.clear()
+        self.queued_bytes = 0
+        return dropped
+
+    async def stop(self) -> None:
+        """Stop the writer task and drop queued frames.
+
+        Cancellation alone is not enough: on some interpreters a cancel
+        landing while the task is inside ``wait_for(drain())`` gets consumed
+        by ``wait_for`` itself, and the task loops back to park on the wake
+        event forever.  The ``_stopped`` flag (checked at the loop head) plus
+        an explicit wake guarantees the task exits even when the cancel is
+        swallowed.
+        """
+        self._stopped = True
+        if self._task is not None:
+            task, self._task = self._task, None
+            self._wake.set()
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._close_writer()
+        self.clear()
+
+    def _close_writer(self) -> None:
+        """Abort the connection outright: no close handshake, no flush wait.
+
+        A graceful ``close()`` + ``wait_closed()`` can block forever when
+        the peer is already gone (crashed server), and a crash is supposed
+        to look like a dead process anyway.
+        """
+        if self._writer is not None:
+            writer, self._writer = self._writer, None
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+
+    def _peer_crashed(self) -> bool:
+        network = self.transport.network
+        return network.endpoints[self.receiver].crashed
+
+    async def _connect(self) -> Optional[asyncio.StreamWriter]:
+        """Dial the peer, retrying with backoff until it answers.
+
+        Returns ``None`` instead of a writer if the peer is (or becomes)
+        crashed: its queued frames are dropped by the caller rather than
+        retried into a closed port forever.
+        """
+        backoff = CONNECT_RETRY_INITIAL
+        network = self.transport.network
+        while True:
+            if self._peer_crashed():
+                return None
+            port = network.port_of(self.receiver)
+            if port is not None:
+                try:
+                    _reader, writer = await asyncio.open_connection(
+                        LOOPBACK_HOST, port)
+                    return writer
+                except OSError:
+                    pass
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, CONNECT_RETRY_MAX)
+
+    async def _run(self) -> None:
+        while not self._stopped:
+            if not self.queue:
+                self._wake.clear()
+                if self._stopped:  # re-check: stop() may have raced the clear
+                    return
+                await self._wake.wait()
+                continue
+            frame = self.queue.popleft()
+            self.queued_bytes -= len(frame)
+            if self._peer_crashed():
+                self.transport.network._count_transport_drop()
+                continue
+            try:
+                if self._writer is None:
+                    self._writer = await self._connect()
+                    if self._writer is None:  # peer crashed while dialling
+                        self.transport.network._count_transport_drop()
+                        continue
+                self._writer.write(FRAME_HEADER.pack(len(frame)) + frame)
+                await asyncio.wait_for(self._writer.drain(),
+                                       timeout=SEND_TIMEOUT)
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.TimeoutError, OSError):
+                # Dead or wedged connection: drop this frame, reconnect for
+                # the next one.
+                self._close_writer()
+                self.transport.network._count_transport_drop()
+
+
+class NodeTransport:
+    """TCP server plus per-peer outbound links for one node."""
+
+    def __init__(self, network: "RealtimeNetwork", node_id: int) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.links: dict[int, Link] = {}
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the server (reclaiming the previous port after recovery) and
+        (re)start every link's writer task."""
+        loop = asyncio.get_running_loop()
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._serve, LOOPBACK_HOST, self.port or 0)
+            self.port = self._server.sockets[0].getsockname()[1]
+            self.network._ports[self.node_id] = self.port
+        for link in self.links.values():
+            link.start(loop)
+
+    async def stop(self) -> None:
+        """Close the listening socket, every accepted connection and every
+        outbound link.  Queued frames are discarded — a crash is physical.
+
+        Accepted connections are closed *before* awaiting the server's
+        teardown: ``Server.wait_closed`` blocks until every connection
+        handler finishes, and the handlers sit in ``readexactly`` until
+        their socket dies.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        self.network._ports[self.node_id] = None
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+        self._connections.clear()
+        for link in self.links.values():
+            await link.stop()
+        if server is not None:
+            with contextlib.suppress(Exception, asyncio.TimeoutError):
+                await asyncio.wait_for(server.wait_closed(), timeout=1.0)
+
+    # ------------------------------------------------------------------ egress
+    def link_to(self, receiver: int) -> Link:
+        link = self.links.get(receiver)
+        if link is None:
+            link = Link(self, receiver)
+            self.links[receiver] = link
+            with contextlib.suppress(RuntimeError):  # loop not running yet:
+                # start() will pick the link up when the servers come online.
+                link.start(asyncio.get_running_loop())
+        return link
+
+    @property
+    def queued_bytes(self) -> int:
+        """Outbound bytes accepted but not yet written to a socket."""
+        return sum(link.queued_bytes for link in self.links.values())
+
+    def clear_backlog(self) -> int:
+        """Drop all queued outbound frames; returns how many."""
+        return sum(link.clear() for link in self.links.values())
+
+    # ----------------------------------------------------------------- ingress
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                header = await reader.readexactly(FRAME_HEADER.size)
+                (length,) = FRAME_HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ValueError(f"oversized frame: {length} bytes")
+                data = await reader.readexactly(length)
+                self.network._on_frame(data)
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.CancelledError):
+            pass  # peer went away or we are shutting down
+        finally:
+            self._connections.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.transport.abort()

@@ -241,9 +241,11 @@ def driver_for(spec: ScenarioSpec) -> Callable[..., list]:
                 n_nodes: Optional[int] = None,
                 workers: Optional[int] = None,
                 protocol: Optional[str] = None,
-                lanes: Optional[int] = None) -> list[dict]:
+                lanes: Optional[int] = None,
+                backend: Optional[str] = None) -> list[dict]:
         return run_scenario(spec, scale=scale, n_nodes=n_nodes,
-                            workers=workers, protocol=protocol, lanes=lanes)
+                            workers=workers, protocol=protocol, lanes=lanes,
+                            backend=backend)
 
     _driver.__name__ = "scenario_" + spec.name.replace("-", "_")
     _driver.__qualname__ = _driver.__name__

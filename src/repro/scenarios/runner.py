@@ -42,7 +42,8 @@ def run_scenario(spec: ScenarioSpec,
                  workers: Optional[int] = None,
                  protocol: Optional[str] = None,
                  lanes: Optional[int] = None,
-                 seed: Optional[int] = None) -> list[dict]:
+                 seed: Optional[int] = None,
+                 backend: Optional[str] = None) -> list[dict]:
     """Run one scenario; returns one result row (as a single-item list).
 
     ``n_nodes`` / ``workers`` / ``protocol`` / ``lanes`` override the spec
@@ -51,6 +52,11 @@ def run_scenario(spec: ScenarioSpec,
     scale's seed.  Durations come from the spec, not the scale — fault phase
     times are absolute simulated seconds, so shrinking the run would
     silently skip scheduled faults.
+
+    ``backend`` selects the Environment/Network pair (``"sim"`` default,
+    ``"realtime"`` for the live asyncio/TCP runtime); fault phase times then
+    mean real seconds, and the row gains a ``backend`` column so live rows
+    never collide with recorded simulated ones.
     """
     if scale is None:
         # Local import: repro.experiments pulls in the registry, which in
@@ -112,6 +118,7 @@ def run_scenario(spec: ScenarioSpec,
         if workload is not None:
             workload_box.append(workload)
 
+    backend = backend or "sim"
     result = run_cluster(
         config,
         protocol=spec.protocol,
@@ -123,6 +130,7 @@ def run_scenario(spec: ScenarioSpec,
         fault_controller=schedule.controller(),
         setup=_setup,
         excluded_nodes=schedule.excluded_nodes(),
+        backend=backend,
     )
 
     row = {
@@ -139,6 +147,10 @@ def run_scenario(spec: ScenarioSpec,
         "latency_p50_ms": round(result.latency.p50 * 1000, 1),
         "latency_p95_ms": round(result.latency.p95 * 1000, 1),
     }
+    if backend != "sim":
+        # Only non-default backends are recorded: committed simulated rows
+        # predate the column and must keep their exact shape.
+        row["backend"] = backend
     if spec.protocol == "fireledger" and spec.lanes.count == 1:
         # Historical column names, kept stable for recorded results.
         row["fast_rounds"] = result.fast_path_rounds

@@ -149,3 +149,91 @@ def test_run_specs_parallel_matches_serial(tmp_path):
     assert set(serial) == set(parallel_result) == {"fig05", "table1"}
     assert serial["fig05"][0] == parallel_result["fig05"][0]  # identical rows
     assert all(elapsed >= 0 for _rows, elapsed in parallel_result.values())
+
+
+def test_append_shard_line_survives_as_whole_lines(tmp_path):
+    """Shard appends are one unbuffered write per record: two appends yield
+    two complete, independently parseable wrapper lines."""
+    from repro.experiments.parallel import _append_shard_line
+
+    shard = tmp_path / "fig05.123.jsonl"
+    _append_shard_line(shard, {"idx": 0, "record": {"config_id": "a"}})
+    _append_shard_line(shard, {"idx": 1, "record": {"config_id": "b"}})
+    lines = shard.read_text().splitlines()
+    assert [json.loads(line)["record"]["config_id"] for line in lines] == \
+        ["a", "b"]
+
+
+def test_sigterm_mid_sweep_leaves_shards_merged_and_resumable(tmp_path):
+    """A SIGTERM mid-parallel-sweep must not orphan or truncate shards: the
+    parent's teardown merges what finished, and a later sweep resumes from
+    exactly those records."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    # Points slow enough (~1s simulated cluster each) that the SIGTERM sent
+    # after the first record provably lands mid-run, with work outstanding.
+    axes = {"cluster_size": (4, 7), "workers": (1, 2)}
+    script = tmp_path / "driver.py"
+    script.write_text(
+        "import sys\n"
+        "from repro.experiments import registry\n"
+        "from repro.experiments.harness import ExperimentScale\n"
+        "from repro.experiments.parallel import run_parallel_sweep\n"
+        "scale = ExperimentScale(duration=1.2, warmup=0.1,\n"
+        "                        workers_sweep=(1,), cluster_sizes=(4,),\n"
+        "                        batch_sizes=(10,), tx_sizes=(512,))\n"
+        f"axes = {axes!r}\n"
+        "run_parallel_sweep(registry.get('fig06'), scale, axes,\n"
+        "                   results_dir=sys.argv[1], scale_label='tiny',\n"
+        "                   jobs=2)\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen([sys.executable, str(script), str(tmp_path)],
+                            env=env)
+    try:
+        # Wait until at least one record has landed in a shard, then kill.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            lines = [line
+                     for shard in shard_dir(tmp_path).glob("fig06.*.jsonl")
+                     for line in shard.read_text().splitlines()
+                     if line.strip()] if shard_dir(tmp_path).is_dir() else []
+            if lines or proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode != 0  # the sweep really was interrupted
+    # Whatever the workers finished was merged by the parent's teardown:
+    # every canonical line is complete JSON and no shard files linger.
+    path = results_path(tmp_path, "fig06")
+    merged = [json.loads(line) for line in path.read_text().splitlines()] \
+        if path.exists() else []
+    assert merged, "teardown merged nothing despite a finished record"
+    assert all("config_id" in record for record in merged)
+    assert len(merged) < 4, "sweep finished before the SIGTERM landed"
+    if shard_dir(tmp_path).is_dir():
+        assert not list(shard_dir(tmp_path).glob("fig06.*.jsonl"))
+    # The interrupted store resumes: a follow-up sweep at the same scale
+    # runs only the missing points and ends with each of the 4
+    # configurations recorded exactly once.
+    from repro.experiments.harness import ExperimentScale
+    scale = ExperimentScale(duration=1.2, warmup=0.1, workers_sweep=(1,),
+                            cluster_sizes=(4,), batch_sizes=(10,),
+                            tx_sizes=(512,))
+    spec = registry.get("fig06")
+    outcome = run_parallel_sweep(spec, scale, axes, results_dir=tmp_path,
+                                 scale_label="tiny", jobs=2)
+    assert outcome["ran"] + outcome["skipped"] == 4
+    assert outcome["skipped"] == len(merged)
+    ids = _ids_in_file(path)
+    assert len(ids) == len(set(ids)) == 4

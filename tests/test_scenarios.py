@@ -292,7 +292,7 @@ def test_every_library_scenario_is_registered():
         spec = registry.get("scenario:" + name)
         assert spec.title == f"Scenario — {name}"
         assert set(spec.axes) == {"cluster_size", "workers", "protocol",
-                                  "lanes"}
+                                  "lanes", "backend"}
 
 
 def test_scenario_sweep_and_resume(tmp_path):

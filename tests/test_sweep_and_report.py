@@ -289,3 +289,31 @@ def test_report_csv_round_trip(tmp_path):
     lines = out.read_text().splitlines()
     assert lines[0].split(",")[0] == "n"
     assert len(lines) == 3
+
+
+def test_backend_sim_axis_canonicalizes_out_of_config_id():
+    """``--backend sim`` is the default spelled out: it must hash like the
+    bare run, while ``--backend realtime`` is a distinct configuration."""
+    spec = registry.get("scenario:paper-lan")
+    scale = ExperimentScale()
+    bare = config_id(spec.name, scale, {}, defaults=spec.axis_defaults)
+    explicit = config_id(spec.name, scale, {"backend": "sim"},
+                         defaults=spec.axis_defaults)
+    live = config_id(spec.name, scale, {"backend": "realtime"},
+                     defaults=spec.axis_defaults)
+    assert bare == explicit
+    assert live != bare
+
+
+def test_backend_sim_sweep_resumes_against_committed_records(tmp_path):
+    """A record committed before the backend axis existed is skipped, not
+    re-run, by a sweep that spells out ``--backend sim``."""
+    spec = registry.get("scenario:paper-lan")
+    scale = ExperimentScale()
+    # A pre-axis record: no backend param anywhere in its payload.
+    append_record(results_path(tmp_path, spec.name),
+                  make_record(spec, scale, "default", {}, [{"tps": 1.0}]))
+    outcome = run_sweep(spec, scale, {"backend": ("sim",)},
+                        results_dir=tmp_path, scale_label="default")
+    assert outcome == {"ran": 0, "skipped": 1,
+                       "path": str(results_path(tmp_path, spec.name))}
