@@ -1,0 +1,62 @@
+"""Pluggable adversary strategies (see :mod:`repro.adversary.base`).
+
+Importing the package registers the shipped strategies:
+
+``equivocate``
+    The paper's Section 7.4.2 attack — a proposer signs two conflicting
+    headers and sends one to each half of a random bisection.
+``targeted-equivocate``
+    The conflicting header goes to the next ``f`` proposers in the
+    rotation instead of a random half (FairLedger-style rational attack).
+``silent``
+    Fail-stop: the node's process never runs and inbound traffic drops.
+``delayed-release``
+    Outbound messages are held ``delay`` seconds before release,
+    stressing the OBBC adaptive timer.
+``selective-omission``
+    Outbound traffic to a victim set is dropped; the rest flows.
+``churn``
+    The node continuously leaves and rejoins (crash/recover cycles).
+"""
+
+from repro.adversary.base import (
+    AdversaryStrategy,
+    build,
+    get,
+    names,
+    register,
+)
+from repro.adversary.churn import ChurnStrategy
+from repro.adversary.equivocate import (
+    EquivocateStrategy,
+    EquivocatingWorker,
+    TargetedEquivocateStrategy,
+    TargetedEquivocatingWorker,
+)
+from repro.adversary.silent import SilentStrategy
+from repro.adversary.traffic import (
+    DelayedReleaseStrategy,
+    SelectiveOmissionStrategy,
+)
+
+#: The strategy assumed when a scenario declares Byzantine nodes without
+#: naming one — the pre-adversary-layer behaviour (equivocate on
+#: FireLedger, silent on the baselines).
+DEFAULT_STRATEGY = EquivocateStrategy.name
+
+__all__ = [
+    "AdversaryStrategy",
+    "ChurnStrategy",
+    "DEFAULT_STRATEGY",
+    "DelayedReleaseStrategy",
+    "EquivocateStrategy",
+    "EquivocatingWorker",
+    "SelectiveOmissionStrategy",
+    "SilentStrategy",
+    "TargetedEquivocateStrategy",
+    "TargetedEquivocatingWorker",
+    "build",
+    "get",
+    "names",
+    "register",
+]

@@ -1,0 +1,77 @@
+"""The churn adversary: Byzantine nodes that continuously leave and rejoin.
+
+Each controlled node cycles ``down_time`` seconds crashed, ``up_time``
+seconds back up, for as long as its fault-schedule window lasts (the
+whole run when unwindowed) — the membership-instability stress the
+ROADMAP's attacker library calls "continuous join/leave".  Cycles are
+staggered per node so the cluster never loses every churning node at the
+same instant.
+
+The cycle drives the network's ``crash``/``recover`` directly (both the
+simulated and the realtime implementation treat them as idempotent), so
+every protocol sees churn the same way it sees a scheduled outage.  Note
+the FireLedger worker semantics: a worker that observes its node crashed
+exits permanently, so for FireLedger a churned node's *processes* do not
+resume on rejoin (matching the rolling-crash scenario's behaviour) —
+the node still receives, stores and serves traffic again, and the honest
+majority's progress and state agreement are what the strategy measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.base import AdversaryStrategy, register
+
+
+@register
+class ChurnStrategy(AdversaryStrategy):
+    """Continuous leave/join cycles on the Byzantine membership."""
+
+    name = "churn"
+
+    def __init__(self, nodes=frozenset(), windows=None,
+                 down_time: float = 0.15, up_time: float = 0.2,
+                 stagger: float = 0.05) -> None:
+        super().__init__(nodes, windows)
+        if down_time <= 0 or up_time <= 0:
+            raise ValueError("down_time and up_time must be positive")
+        if stagger < 0:
+            raise ValueError("stagger must be non-negative")
+        self.down_time = float(down_time)
+        self.up_time = float(up_time)
+        self.stagger = float(stagger)
+        self.departures = 0
+        self.rejoins = 0
+
+    def install(self, env, network) -> None:
+        for offset, node in enumerate(sorted(self.nodes)):
+            for at, until in self.windows.get(node, ((0.0, math.inf),)):
+                first = max(at - env.now, 0.0) + offset * self.stagger
+                env.call_later(
+                    first,
+                    lambda _arg, node=node, until=until:
+                        self._depart(env, network, node, until))
+
+    def _depart(self, env, network, node: int, until: float) -> None:
+        if env.now >= until:
+            return
+        if not network.is_crashed(node):
+            network.crash(node)
+            self.departures += 1
+        env.call_later(
+            self.down_time,
+            lambda _arg: self._rejoin(env, network, node, until))
+
+    def _rejoin(self, env, network, node: int, until: float) -> None:
+        if network.is_crashed(node):
+            network.recover(node)
+            self.rejoins += 1
+        if env.now + self.up_time < until:
+            env.call_later(
+                self.up_time,
+                lambda _arg: self._depart(env, network, node, until))
+
+    def counters(self) -> dict[str, float]:
+        return {"adversary_departures": self.departures,
+                "adversary_rejoins": self.rejoins}

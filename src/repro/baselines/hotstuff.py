@@ -66,7 +66,7 @@ class HotStuffReplica(PooledReplicaMixin):
                  keystore: KeyStore, f: int, batch_size: int, tx_size: int,
                  cost: CryptoCostModel, view_timeout: float = 1.0,
                  channel: str = "hotstuff", pool=None,
-                 fill_blocks: bool = True, silent: bool = False) -> None:
+                 fill_blocks: bool = True) -> None:
         self.env = env
         self.network = network
         self.node_id = node_id
@@ -80,15 +80,9 @@ class HotStuffReplica(PooledReplicaMixin):
         self.channel = channel
         self.pool = pool
         self.fill_blocks = fill_blocks
-        #: Fail-stop adversary model: a silent replica never runs its process.
-        self.silent = silent
         self.context = ProtocolContext(env, network, node_id, channel,
                                        inbox=Store(env))
-        # A silent replica drops traffic at the network layer (like a crashed
-        # node would); buffering a whole run's broadcasts in a never-drained
-        # inbox would only grow memory.
-        network.endpoint(node_id).router = (
-            (lambda message: None) if silent else self.context.inbox.put)
+        network.endpoint(node_id).router = self.context.inbox.put
         self.committed: list[_CommittedBlock] = []
         self._proposals: dict[int, tuple[float, int, tuple]] = {}
         self._seen_proposal_view = -1

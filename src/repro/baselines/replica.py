@@ -25,6 +25,21 @@ class PooledReplicaMixin:
     #: Per-batch framing bytes of the concrete protocol's wire format.
     HEADER_OVERHEAD = 0
 
+    #: Fail-stop adversary model: a silent replica never runs its process.
+    #: Set by :meth:`silence`; the protocol adapters skip silent replicas
+    #: in ``start()``.
+    silent = False
+
+    def silence(self, network) -> None:
+        """Turn this replica into a fail-stop (silent) node.
+
+        A silent replica drops traffic at the network layer (like a crashed
+        node would); buffering a whole run's broadcasts in a never-drained
+        inbox would only grow memory.
+        """
+        self.silent = True
+        network.endpoint(self.node_id).router = lambda message: None
+
     def submit_transaction(self, size_bytes: Optional[int] = None,
                            client_id: int = 0,
                            payload_seed: Optional[int] = None,

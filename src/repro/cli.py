@@ -42,6 +42,7 @@ _AXIS_FLAGS = {
     "protocol": registry.AXIS_PROTOCOL,
     "lanes": registry.AXIS_LANES,
     "backend": registry.AXIS_BACKEND,
+    "adversary": registry.AXIS_ADVERSARY,
 }
 
 
@@ -128,6 +129,11 @@ def _add_axis_options(parser: argparse.ArgumentParser) -> None:
                         help="execution backend(s): sim (discrete-event, "
                              "default) and/or realtime (live asyncio over "
                              "loopback TCP; scenarios)")
+    parser.add_argument("--adversary", type=_str_list, default=None,
+                        metavar="A,A",
+                        help="adversary strategy(ies) for a scenario's "
+                             "Byzantine nodes, e.g. equivocate,churn "
+                             "(see 'list'; scenarios)")
     parser.add_argument("--axis", type=_axis_assignment, action="append",
                         default=None, metavar="NAME=V,V",
                         help="generic axis assignment, e.g. "
@@ -430,6 +436,10 @@ def _cmd_list(out) -> int:
              "title": spec.title}
             for spec in registry.specs()]
     print(format_rows(rows, columns=["name", "axes", "title"]), file=out)
+    from repro import adversary
+
+    print(f"\nadversary strategies (scenario --adversary axis): "
+          f"{', '.join(sorted(adversary.names()))}", file=out)
     return 0
 
 

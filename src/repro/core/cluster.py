@@ -146,6 +146,7 @@ def run_cluster(config: FireLedgerConfig,
                 geo_distributed: bool = False,
                 crash_schedule: Optional[CrashSchedule] = None,
                 byzantine_nodes: Optional[frozenset[int]] = None,
+                adversary: "Optional[str | object]" = None,
                 fault_controller: Optional[FaultController] = None,
                 latency_trim: float = 0.0,
                 setup: Optional[Callable[[Environment, Network, list], None]] = None,
@@ -161,6 +162,15 @@ def run_cluster(config: FireLedgerConfig,
     7.5, ``crash_schedule`` and ``byzantine_nodes`` reproduce Sections
     7.4.1/7.4.2, ``warmup`` excludes start-up effects from the measured
     window.
+
+    ``adversary`` selects how the Byzantine nodes misbehave: a registered
+    :mod:`repro.adversary` strategy name, or a bound
+    :class:`~repro.adversary.base.AdversaryStrategy` instance (the scenario
+    runner passes one carrying the fault schedule's timed windows).  With
+    Byzantine nodes and no explicit adversary the default strategy is
+    ``equivocate`` — the pre-adversary-layer behaviour (Section 7.4.2's
+    equivocating proposer on FireLedger, fail-stop silence on the
+    baselines).
 
     ``setup`` is a hook invoked after the nodes are built and started but
     before the simulation runs; the declarative scenario layer uses it to
@@ -216,8 +226,22 @@ def run_cluster(config: FireLedgerConfig,
     keystore = KeyStore(config.n_nodes)
 
     byzantine = frozenset(byzantine_nodes or ())
+    strategy = None
+    if adversary is not None or byzantine:
+        from repro import adversary as adversary_lib
+
+        if isinstance(adversary, adversary_lib.AdversaryStrategy):
+            strategy = adversary
+        else:
+            strategy = adversary_lib.build(
+                adversary or adversary_lib.DEFAULT_STRATEGY, nodes=byzantine)
+        if not byzantine:
+            byzantine = strategy.nodes
+        # Traffic-shaping strategies wrap the network before any node is
+        # built, so every protocol message crosses the strategy's proxy.
+        network = strategy.wrap_network(network)
     nodes = impl.build_nodes(env, network, keystore, config, rng,
-                             byzantine_nodes=byzantine)
+                             byzantine_nodes=byzantine, adversary=strategy)
     # The delivery seam: attach one executor per node by subscribing it to
     # the node's stream — uniformly, whatever the protocol.  Protocols keep
     # their streams' earlier subscribers (metric recorders, lane merges)
@@ -237,6 +261,8 @@ def run_cluster(config: FireLedgerConfig,
     impl.set_measurement_window(nodes, warmup)
     impl.start(nodes)
 
+    if strategy is not None:
+        strategy.install(env, network)
     if crash_schedule is not None:
         crash_schedule.install(env, network)
     if setup is not None:
@@ -309,6 +335,10 @@ def run_cluster(config: FireLedgerConfig,
     breakdown.update(counter_totals)
     breakdown.update({key: mean_totals[key] / mean_counts[key]
                       for key in mean_totals})
+    if strategy is not None:
+        # Per-strategy counters arrive under the ``adversary_`` prefix; the
+        # scenario runner keeps them out of pre-existing recorded row shapes.
+        breakdown.update(strategy.counters())
 
     # Execution-layer oracle: every honest node must have executed the common
     # delivered prefix to the same state root (raises StateDivergenceError

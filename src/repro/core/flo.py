@@ -31,12 +31,14 @@ class FLONode:
     def __init__(self, env: Environment, network: Network, node_id: int,
                  config: FireLedgerConfig, keystore: KeyStore,
                  rng: Optional[random.Random] = None,
-                 worker_factory: Optional[Callable[..., FireLedgerWorker]] = None) -> None:
+                 worker_factory: Optional[Callable[..., FireLedgerWorker]] = None,
+                 silent: bool = False) -> None:
         self.env = env
         self.network = network
         self.node_id = node_id
         self.config = config
         self.keystore = keystore
+        self.silent = silent
         self.rng = rng or random.Random(node_id * 7919)
         self.recorder = MetricsRecorder(
             node_id, horizon_rounds=config.effective_metrics_horizon)
@@ -56,7 +58,11 @@ class FLONode:
             worker.chain.released_through = -1
         self._channel_map = {worker.channel: worker for worker in self.workers}
         self._extra_handlers: dict[str, Callable[[Message], None]] = {}
-        network.endpoint(node_id).router = self._route
+        # A silent node drops traffic at the network layer (like a crashed
+        # node would); buffering a whole run's broadcasts in a never-drained
+        # inbox would only grow memory.
+        network.endpoint(node_id).router = (
+            (lambda message: None) if silent else self._route)
 
         # Round-robin delivery state.
         self._delivery_cursor = 0
@@ -89,7 +95,9 @@ class FLONode:
         self._extra_handlers[channel] = handler
 
     def start(self) -> None:
-        """Launch every worker's main process."""
+        """Launch every worker's main process (no-op for a silent node)."""
+        if self.silent:
+            return
         for worker in self.workers:
             self.env.process(worker.run())
 

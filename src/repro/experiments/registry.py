@@ -36,8 +36,11 @@ AXIS_LANES = "lanes"
 #: Execution backend — ``"sim"`` (discrete-event) or ``"realtime"`` (live
 #: asyncio/TCP runtime).  Scenario drivers only; string-valued like protocol.
 AXIS_BACKEND = "backend"
+#: Adversary strategy for a scenario's Byzantine nodes — string-valued
+#: (names from :mod:`repro.adversary`).  Scenario drivers only.
+AXIS_ADVERSARY = "adversary"
 AXES = (AXIS_CLUSTER, AXIS_BATCH, AXIS_TX, AXIS_WORKERS, AXIS_PROTOCOL,
-        AXIS_LANES, AXIS_BACKEND)
+        AXIS_LANES, AXIS_BACKEND, AXIS_ADVERSARY)
 
 
 @dataclass(frozen=True)
@@ -279,9 +282,10 @@ def _register_scenarios() -> None:
     """Register every shipped declarative scenario as ``scenario:<name>``.
 
     Scenario drivers take ``n_nodes`` / ``workers`` / ``protocol`` /
-    ``lanes`` as scalar keyword axes, so ``repro sweep scenario:<name>
-    --cluster-sizes 4,7``, ``--protocol fireledger,hotstuff`` and
-    ``--lanes 1,4`` sweep the same spec with the usual resume/--jobs
+    ``lanes`` / ``adversary`` as scalar keyword axes, so ``repro sweep
+    scenario:<name> --cluster-sizes 4,7``, ``--protocol
+    fireledger,hotstuff``, ``--lanes 1,4`` and ``--adversary
+    equivocate,churn`` sweep the same spec with the usual resume/--jobs
     machinery.
     """
     from repro.scenarios import library as scenario_library
@@ -296,16 +300,19 @@ def _register_scenarios() -> None:
                   AXIS_WORKERS: _kwarg_axis("workers"),
                   AXIS_PROTOCOL: _kwarg_axis("protocol"),
                   AXIS_LANES: _kwarg_axis("lanes"),
-                  AXIS_BACKEND: _kwarg_axis("backend")},
+                  AXIS_BACKEND: _kwarg_axis("backend"),
+                  AXIS_ADVERSARY: _kwarg_axis("adversary")},
             pins_duration=True,
-            # backend=sim is canonicalized out of config_id so committed
-            # records (which predate the axis) resume unchanged against
-            # explicit ``--backend sim`` spellings.
+            # backend=sim (and the spec's own adversary strategy) are
+            # canonicalized out of config_id so committed records (which
+            # predate the axes) resume unchanged against explicit
+            # ``--backend sim`` / default-adversary spellings.
             axis_defaults={AXIS_CLUSTER: spec.n_nodes,
                            AXIS_WORKERS: spec.workers,
                            AXIS_PROTOCOL: spec.protocol,
                            AXIS_LANES: spec.lanes.count,
-                           AXIS_BACKEND: "sim"}))
+                           AXIS_BACKEND: "sim",
+                           AXIS_ADVERSARY: spec.adversary.strategy}))
 
 
 _register_all()

@@ -1,10 +1,12 @@
-"""Failure injection: crash faults, Byzantine equivocation, timing faults."""
+"""Failure injection: timed crash faults.
 
-from repro.faults.byzantine import ByzantineEquivocatorWorker, byzantine_worker_factory
+Byzantine behaviour lives in :mod:`repro.adversary` — a registry of
+pluggable strategies (equivocation, silence, delayed release, selective
+omission, churn) that compose with any registered protocol.
+"""
+
 from repro.faults.crash import CrashSchedule
 
 __all__ = [
     "CrashSchedule",
-    "ByzantineEquivocatorWorker",
-    "byzantine_worker_factory",
 ]

@@ -41,7 +41,15 @@ _PARAM_ROW_ECHOES = {
     "workers": ("workers",),
     "protocol": ("protocol",),
     "lanes": ("lanes",),
+    "adversary": ("adversary",),
 }
+
+#: Per-strategy counters the adversary strategies surface on their rows
+#: (``adversary_`` prefix stripped by the scenario runner).
+_ADVERSARY_COUNTER_COLUMNS = (
+    "equivocations", "silenced_nodes", "delayed_msgs", "withheld_msgs",
+    "departures", "rejoins",
+)
 
 
 def load_results(results_dir: "str | Path") -> dict[str, list[dict]]:
@@ -179,7 +187,7 @@ def markdown_table(rows: Sequence[Mapping],
 # metrics it pivots per protocol.  ``lanes`` is identifying: a lanes=4 run
 # is a different configuration from the lanes=1 run of the same scenario.
 _COMPARISON_ID_COLUMNS = ("scenario", "n", "workers", "batch", "tx_size",
-                          "workload", "lanes", "seed")
+                          "workload", "lanes", "adversary", "seed")
 _COMPARISON_BASELINE = "fireledger"
 
 
@@ -281,6 +289,9 @@ def render_experiment_section(name: str, records: Sequence[Mapping]) -> str:
             f"- **Workload:** {summary['workload']}",
             f"- **Faults:** {summary['faults']}",
         ]
+        if "adversary" in summary:
+            lines.append(f"- **Adversary:** {summary['adversary']} "
+                         f"(default; sweep with `--adversary`)")
         if "execution" in summary:
             lines.append(f"- **Execution:** {summary['execution']}")
         if "retention" in summary:
@@ -371,6 +382,61 @@ def render_fairness_section(results: Mapping[str, Sequence[Mapping]]) -> str:
     return "\n".join(lines)
 
 
+def adversary_rows(results: Mapping[str, Sequence[Mapping]]) -> list[dict]:
+    """One line per row recorded under an explicitly-swept adversary.
+
+    Feeds the "Adversary strategies" section: the strategy, the protocol it
+    ran against, headline throughput/latency, the strategy's own counters
+    and the state-agreement oracle columns.
+    """
+    out: list[dict] = []
+    for name, records in results.items():
+        for row in merged_rows(records):
+            if "adversary" not in row:
+                continue
+            picked: dict = {"experiment": name, "adversary": row["adversary"]}
+            for key in ("protocol", "lanes", "n", "tps", "bps",
+                        "latency_p50_ms", "latency_p95_ms"):
+                if key in row:
+                    picked[key] = row[key]
+            for key in _ADVERSARY_COUNTER_COLUMNS:
+                if key in row:
+                    picked[key] = row[key]
+            for key in ("state_root", "state_deliveries"):
+                if key in row:
+                    picked[key] = row[key]
+            out.append(picked)
+    return out
+
+
+def render_adversary_section(results: Mapping[str, Sequence[Mapping]]) -> str:
+    """The cross-experiment "Adversary strategies" section (or '')."""
+    rows = adversary_rows(results)
+    if not rows:
+        return ""
+    lines = [
+        "## Adversary strategies",
+        "",
+        "Rows recorded under an explicit `--adversary` sweep: the named",
+        "strategy (`src/repro/adversary/`) controls how the scenario's",
+        "Byzantine nodes misbehave, and composes with every registered",
+        "protocol — `equivocate`/`targeted-equivocate` substitute a",
+        "conflicting-header proposer on FireLedger (degrading to fail-stop",
+        "silence on the leader-driven baselines), `silent` is fail-stop,",
+        "`delayed-release` holds the adversary's outbound traffic,",
+        "`selective-omission` starves a victim set, and `churn` cycles the",
+        "adversary's nodes through crash/recover.  Per-strategy counters",
+        "(`equivocations`, `delayed_msgs`, `withheld_msgs`, `departures`...)",
+        "quantify the injected misbehaviour; `state_root` is the cross-node",
+        "state-agreement oracle over the honest majority — identical roots",
+        "mean safety held under the attack.",
+        "",
+        markdown_table(rows),
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def _scenario_preamble() -> list[str]:
     """The generated "scenarios" note: shipped names + how to write one."""
     from repro.scenarios import library
@@ -382,11 +448,12 @@ def _scenario_preamble() -> list[str]:
         "(`src/repro/scenarios/`): one spec composes a WAN topology, a",
         "workload shape and a fault timeline, and runs via",
         "`python -m repro run scenario:<name>` (sweepable over",
-        "`--cluster-sizes` / `--workers` / `--protocol` / `--lanes` like",
-        "any experiment; every scenario runs under any registered consensus",
-        "protocol — fireledger, hotstuff, bftsmart — and `--lanes M`",
-        "multiplexes M independent instances of it over the same cluster,",
-        "merged into one total order).  Shipped:",
+        "`--cluster-sizes` / `--workers` / `--protocol` / `--lanes` /",
+        "`--adversary` like any experiment; every scenario runs under any",
+        "registered consensus protocol — fireledger, hotstuff, bftsmart —",
+        "`--lanes M` multiplexes M independent instances of it over the same",
+        "cluster, merged into one total order, and `--adversary` picks how",
+        "the fault schedule's Byzantine nodes misbehave).  Shipped:",
         "",
     ]
     for name in library.names():
@@ -453,12 +520,17 @@ def render_experiments_md(results: Mapping[str, Sequence[Mapping]]) -> str:
         anchor = (title.lower().replace(" ", "-")
                   .translate(str.maketrans("", "", ",/—–.()")))
         lines.append(f"- [{title}](#{anchor})")
+    adversary = render_adversary_section(results)
+    if adversary:
+        lines.append("- [Adversary strategies](#adversary-strategies)")
     fairness = render_fairness_section(results)
     if fairness:
         lines.append("- [Fairness & execution](#fairness--execution)")
     lines.append("")
     for name, records in results.items():
         lines.append(render_experiment_section(name, records))
+    if adversary:
+        lines.append(adversary)
     if fairness:
         lines.append(fairness)
     return "\n".join(lines).rstrip() + "\n"

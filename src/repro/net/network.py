@@ -178,17 +178,23 @@ class Network:
         return self.endpoints[node_id]
 
     def crash(self, node_id: int) -> None:
-        """Crash a node: it stops sending and receiving permanently."""
+        """Crash a node: it stops sending and receiving until recovered.
+
+        Idempotent — re-crashing a crashed node is a no-op, so overlapping
+        fault sources (a crash schedule plus a churn adversary) compose.
+        """
         self.endpoints[node_id].crashed = True
 
     def recover(self, node_id: int) -> None:
-        """Undo a crash.
+        """Undo a crash (no-op when the node is already up).
 
         A recovered node comes back with empty NIC lanes: whatever egress or
         ingress backlog its endpoint had accumulated before the crash died
         with the process, so it must not resume with phantom queued traffic.
         """
         endpoint = self.endpoints[node_id]
+        if not endpoint.crashed:
+            return
         endpoint.crashed = False
         endpoint.reset_lanes()
 

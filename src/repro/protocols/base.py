@@ -107,14 +107,19 @@ class ConsensusProtocol(abc.ABC):
     def build_nodes(self, env: "Environment", network: "Network",
                     keystore: "KeyStore", config: "FireLedgerConfig",
                     rng: random.Random,
-                    byzantine_nodes: frozenset[int] = frozenset()) -> list:
+                    byzantine_nodes: frozenset[int] = frozenset(),
+                    adversary=None) -> list:
         """Create one node object per ``config.n_nodes``.
 
         ``rng`` is the run's root random source — draw per-node seeds from it
         (``rng.randrange(2 ** 62)``) so runs stay deterministic per seed.
-        ``byzantine_nodes`` selects the protocol's adversary model for those
-        nodes (FireLedger runs equivocating workers; the baselines model a
-        fail-stop under-approximation — see each implementation).
+        ``adversary`` is the run's bound
+        :class:`~repro.adversary.base.AdversaryStrategy` (None on fault-free
+        runs); implementations consult its ``worker_factory(self.name)`` for
+        misbehaving worker substitution and ``is_silent(node_id, self.name)``
+        for nodes whose process must never start.  ``byzantine_nodes`` is the
+        same membership as ``adversary.nodes``, kept as a plain set for
+        implementations that only need the ids.
         """
 
     @abc.abstractmethod

@@ -17,8 +17,9 @@ from repro.protocols.base import (
 class BFTSmartProtocol(ConsensusProtocol):
     """Stable-leader PBFT-family ordering (see :mod:`repro.baselines.bftsmart`).
 
-    Byzantine membership maps onto silent (fail-stop) replicas; a silent
-    node 0 halts the service because leader re-election is not modelled.
+    The run's adversary strategy decides which replicas stay silent (the
+    equivocation strategies degrade to fail-stop here); a silent node 0
+    halts the service because leader re-election is not modelled.
     """
 
     name = "bftsmart"
@@ -30,7 +31,8 @@ class BFTSmartProtocol(ConsensusProtocol):
         self.instance_timeout = instance_timeout
 
     def build_nodes(self, env, network, keystore, config, rng,
-                    byzantine_nodes: frozenset[int] = frozenset()) -> list[BFTSmartReplica]:
+                    byzantine_nodes: frozenset[int] = frozenset(),
+                    adversary=None) -> list[BFTSmartReplica]:
         cost = CryptoCostModel(config.machine)
         pool = SharedTxPool(max_pending=config.pool_max_pending,
                             carry_transactions=config.execute_transactions)
@@ -38,10 +40,13 @@ class BFTSmartProtocol(ConsensusProtocol):
             BFTSmartReplica(env, network, node_id, keystore, config.f,
                             config.batch_size, config.tx_size, cost,
                             instance_timeout=self.instance_timeout,
-                            pool=pool, fill_blocks=config.fill_blocks,
-                            silent=node_id in byzantine_nodes)
+                            pool=pool, fill_blocks=config.fill_blocks)
             for node_id in range(config.n_nodes)
         ]
+        if adversary is not None:
+            for replica in replicas:
+                if adversary.is_silent(replica.node_id, self.name):
+                    replica.silence(network)
         return replicas
 
     def start(self, nodes: Sequence[BFTSmartReplica]) -> None:

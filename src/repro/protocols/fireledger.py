@@ -1,8 +1,8 @@
 """FireLedger under the pluggable-protocol contract.
 
 The node factory builds the classic :class:`~repro.core.flo.FLONode`
-deployment (including the equivocating-worker factory for Byzantine
-membership); the metric hook reads the node's
+deployment (consulting the run's adversary strategy for misbehaving worker
+substitution and silenced nodes); the metric hook reads the node's
 :class:`~repro.metrics.recorder.MetricsRecorder` exactly as the old
 FireLedger-only aggregation loop did, so results are unchanged — they just
 flow through the protocol-agnostic :class:`~repro.protocols.base.NodeMetrics`
@@ -15,7 +15,6 @@ import random
 from typing import Sequence
 
 from repro.core.flo import FLONode
-from repro.faults.byzantine import byzantine_worker_factory
 from repro.metrics.recorder import (
     EVENT_BLOCK_PROPOSAL,
     EVENT_FLO_DELIVERY,
@@ -31,14 +30,17 @@ class FireLedgerProtocol(ConsensusProtocol):
     min_nodes = 4
 
     def build_nodes(self, env, network, keystore, config, rng,
-                    byzantine_nodes: frozenset[int] = frozenset()) -> list[FLONode]:
+                    byzantine_nodes: frozenset[int] = frozenset(),
+                    adversary=None) -> list[FLONode]:
         worker_factory = None
-        if byzantine_nodes:
-            worker_factory = byzantine_worker_factory(frozenset(byzantine_nodes))
+        if adversary is not None:
+            worker_factory = adversary.worker_factory(self.name)
         return [
             FLONode(env, network, node_id, config, keystore,
                     rng=random.Random(rng.randrange(2 ** 62)),
-                    worker_factory=worker_factory)
+                    worker_factory=worker_factory,
+                    silent=(adversary is not None
+                            and adversary.is_silent(node_id, self.name)))
             for node_id in range(config.n_nodes)
         ]
 

@@ -17,9 +17,10 @@ from repro.protocols.base import (
 class HotStuffProtocol(ConsensusProtocol):
     """Rotating-leader chained HotStuff (see :mod:`repro.baselines.hotstuff`).
 
-    Byzantine membership maps onto a fail-stop under-approximation: marked
-    replicas stay silent, so their leader views time out and exercise the
-    NEW-VIEW skip path (equivocation is not modelled for the baselines).
+    The run's adversary strategy decides which replicas stay silent (the
+    equivocation strategies degrade to fail-stop here — a silent leader's
+    views time out and exercise the NEW-VIEW skip path); traffic-shaping
+    strategies act at the network seam without touching this adapter.
     """
 
     name = "hotstuff"
@@ -31,7 +32,8 @@ class HotStuffProtocol(ConsensusProtocol):
         self.view_timeout = view_timeout
 
     def build_nodes(self, env, network, keystore, config, rng,
-                    byzantine_nodes: frozenset[int] = frozenset()) -> list[HotStuffReplica]:
+                    byzantine_nodes: frozenset[int] = frozenset(),
+                    adversary=None) -> list[HotStuffReplica]:
         cost = CryptoCostModel(config.machine)
         pool = SharedTxPool(max_pending=config.pool_max_pending,
                             carry_transactions=config.execute_transactions)
@@ -39,10 +41,13 @@ class HotStuffProtocol(ConsensusProtocol):
             HotStuffReplica(env, network, node_id, keystore, config.f,
                             config.batch_size, config.tx_size, cost,
                             view_timeout=self.view_timeout,
-                            pool=pool, fill_blocks=config.fill_blocks,
-                            silent=node_id in byzantine_nodes)
+                            pool=pool, fill_blocks=config.fill_blocks)
             for node_id in range(config.n_nodes)
         ]
+        if adversary is not None:
+            for replica in replicas:
+                if adversary.is_silent(replica.node_id, self.name):
+                    replica.silence(network)
         return replicas
 
     def start(self, nodes: Sequence[HotStuffReplica]) -> None:

@@ -147,8 +147,15 @@ class RealtimeNetwork:
         return self._ports[node_id]
 
     def crash(self, node_id: int) -> None:
-        """Crash a node: close its sockets, drop everything queued for it."""
+        """Crash a node: close its sockets, drop everything queued for it.
+
+        Idempotent — re-crashing a crashed node is a no-op, so overlapping
+        fault sources (a crash schedule plus a churn adversary) compose
+        without double-closing sockets.
+        """
         endpoint = self.endpoints[node_id]
+        if endpoint.crashed:
+            return
         endpoint.crashed = True
         dropped = self.transports[node_id].clear_backlog()
         for transport in self.transports:
@@ -161,8 +168,13 @@ class RealtimeNetwork:
         self._spawn(self.transports[node_id].stop())
 
     def recover(self, node_id: int) -> None:
-        """Undo a crash: rebind the same port with an empty egress backlog."""
+        """Undo a crash: rebind the same port with an empty egress backlog.
+
+        No-op when the node is already up (mirrors the simulator's guard).
+        """
         endpoint = self.endpoints[node_id]
+        if not endpoint.crashed:
+            return
         endpoint.crashed = False
         endpoint.reset_lanes()
         self._spawn(self.transports[node_id].start())

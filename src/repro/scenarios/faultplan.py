@@ -26,9 +26,10 @@ from repro.net.network import Network
 from repro.sim import Environment
 
 #: Phase kinds and whether they are point events (``at``) or windows
-#: (``at``..``until``); ``byzantine`` is membership, fixed for the whole run.
+#: (``at``..``until``); ``byzantine`` is a membership *window* — the named
+#: nodes misbehave between ``at`` and ``until`` (the defaults cover the run).
 PHASE_KINDS = ("crash", "recover", "partition", "loss", "slow", "byzantine")
-_WINDOW_KINDS = frozenset({"partition", "loss", "slow"})
+_WINDOW_KINDS = frozenset({"partition", "loss", "slow", "byzantine"})
 _NODE_KINDS = frozenset({"crash", "recover", "byzantine"})
 
 
@@ -40,8 +41,12 @@ class FaultPhase:
     ``nodes``; ``partition`` uses ``groups`` over ``at``..``until``; ``loss``
     uses ``loss_rate`` (optionally restricted to ``senders``/``receivers``)
     over the window; ``slow`` adds ``extra_delay`` seconds per message over
-    the window; ``byzantine`` marks ``nodes`` as equivocators for the whole
-    run (``at`` must stay 0 — the behaviour cannot be switched on mid-run).
+    the window; ``byzantine`` marks ``nodes`` as adversary-controlled over
+    ``at``..``until`` (the defaults cover the whole run).  How windowed
+    membership is honoured is up to the scenario's adversary strategy:
+    traffic/churn strategies respect the window exactly, while proposal and
+    liveness strategies (equivocate, silent) treat any listed node as
+    Byzantine for the whole run — see :mod:`repro.adversary`.
     """
 
     kind: str
@@ -64,9 +69,6 @@ class FaultPhase:
             raise ValueError(f"{self.kind} window needs until > at")
         if self.kind in _NODE_KINDS and not self.nodes:
             raise ValueError(f"{self.kind} phase needs at least one node")
-        if self.kind == "byzantine" and self.at != 0.0:
-            raise ValueError("byzantine membership is fixed for the whole "
-                             "run; at must be 0")
         if self.kind == "partition" and len(self.groups) < 2:
             raise ValueError("partition needs at least two groups")
         if self.kind == "loss" and not 0.0 < self.loss_rate <= 1.0:
@@ -97,7 +99,10 @@ class FaultPhase:
             return f"{self.kind} node(s) {nodes} at t={self.at:g}s"
         if self.kind == "byzantine":
             nodes = ",".join(str(n) for n in self.nodes)
-            return f"byzantine node(s) {nodes}"
+            if self.at == 0.0 and self.until == float("inf"):
+                return f"byzantine node(s) {nodes}"
+            end = "end" if self.until == float("inf") else f"{self.until:g}s"
+            return f"byzantine node(s) {nodes} over t={self.at:g}s..{end}"
         window = (f"t={self.at:g}s..{'end' if self.until == float('inf') else f'{self.until:g}s'}")
         if self.kind == "partition":
             groups = " | ".join("{" + ",".join(map(str, g)) + "}" for g in self.groups)
@@ -117,7 +122,8 @@ class FaultSchedule:
       (:meth:`install`), so the same node can crash, recover and crash again;
     * windowed network phases compile into one composite
       :class:`~repro.net.faults.FaultController` (:meth:`controller`);
-    * :attr:`byzantine_nodes` selects equivocating workers at cluster build.
+    * :attr:`byzantine_nodes` / :meth:`byzantine_windows` bind the
+      scenario's adversary strategy at cluster build.
     """
 
     phases: tuple[FaultPhase, ...] = ()
@@ -126,6 +132,19 @@ class FaultSchedule:
         object.__setattr__(self, "phases", tuple(
             phase if isinstance(phase, FaultPhase) else FaultPhase.from_dict(phase)
             for phase in self.phases))
+        spans: dict[int, list[tuple[float, float]]] = {}
+        for phase in self.phases:
+            if phase.kind != "byzantine":
+                continue
+            for node in phase.nodes:
+                spans.setdefault(node, []).append((phase.at, phase.until))
+        for node, windows in spans.items():
+            windows.sort()
+            for (_, prev_until), (next_at, _) in zip(windows, windows[1:]):
+                if next_at < prev_until:
+                    raise ValueError(
+                        f"overlapping byzantine windows for node {node}; "
+                        f"merge them into one phase")
 
     @classmethod
     def from_dicts(cls, phases: Iterable[Mapping]) -> "FaultSchedule":
@@ -148,9 +167,25 @@ class FaultSchedule:
     # ------------------------------------------------------------- membership
     @property
     def byzantine_nodes(self) -> frozenset[int]:
-        """Nodes running the equivocating worker for the whole run."""
+        """All nodes listed by any byzantine phase (window or full-run)."""
         return frozenset(node for phase in self.phases
                          if phase.kind == "byzantine" for node in phase.nodes)
+
+    def byzantine_windows(self) -> dict[int, tuple[tuple[float, float], ...]]:
+        """Per-node activity windows: ``{node: ((at, until), ...)}``.
+
+        The windows feed the adversary strategy's
+        :meth:`~repro.adversary.base.AdversaryStrategy.active` check; an
+        unwindowed phase contributes ``(0, inf)``.
+        """
+        spans: dict[int, list[tuple[float, float]]] = {}
+        for phase in self.phases:
+            if phase.kind != "byzantine":
+                continue
+            for node in phase.nodes:
+                spans.setdefault(node, []).append((phase.at, phase.until))
+        return {node: tuple(sorted(windows))
+                for node, windows in spans.items()}
 
     def excluded_nodes(self) -> frozenset[int]:
         """Nodes whose metrics should not count as correct-node output.
@@ -247,7 +282,13 @@ def slow(extra_delay: float, start: float = 0.0, end: float = float("inf"),
                       receivers=tuple(receivers) if receivers is not None else None)
 
 
-def byzantine(nodes: "int | Iterable[int]") -> FaultPhase:
-    """Run the equivocating worker on ``nodes`` for the whole run."""
+def byzantine(nodes: "int | Iterable[int]", at: float = 0.0,
+              until: Optional[float] = None) -> FaultPhase:
+    """Mark ``nodes`` as adversary-controlled over ``at``..``until``.
+
+    The defaults cover the whole run (the classic fixed membership); a
+    bounded window drives windowed strategies such as churn.
+    """
     nodes = (nodes,) if isinstance(nodes, int) else tuple(nodes)
-    return FaultPhase(kind="byzantine", nodes=nodes)
+    return FaultPhase(kind="byzantine", nodes=nodes, at=at,
+                      until=float("inf") if until is None else until)

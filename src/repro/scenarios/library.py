@@ -204,6 +204,24 @@ _add(ScenarioSpec(
     )),
 ))
 
+_add(ScenarioSpec(
+    name="adversary-gauntlet",
+    description="The adversary gauntlet: an f-sized Byzantine minority at "
+                "paper-LAN scale, meant to be swept over every registered "
+                "adversary strategy and protocol with the cross-node "
+                "state-root oracle as the safety gate.  Long enough "
+                "(3s) that HotStuff commits measurable work past the "
+                "view timeouts the fail-stop strategies induce.",
+    n_nodes=7, workers=1, batch_size=100, tx_size=512,
+    duration=3.0, warmup=0.2,
+    topology=TopologySpec(kind="lan"),
+    workload=WorkloadSpec(shape="saturated"),
+    execution=ExecutionSpec(enabled=True),
+    faults=faultplan.FaultSchedule(phases=(
+        faultplan.byzantine((5, 6)),
+    )),
+))
+
 
 def names() -> list[str]:
     """Shipped scenario names (bare, without the ``scenario:`` prefix)."""
@@ -242,10 +260,11 @@ def driver_for(spec: ScenarioSpec) -> Callable[..., list]:
                 workers: Optional[int] = None,
                 protocol: Optional[str] = None,
                 lanes: Optional[int] = None,
+                adversary: Optional[str] = None,
                 backend: Optional[str] = None) -> list[dict]:
         return run_scenario(spec, scale=scale, n_nodes=n_nodes,
                             workers=workers, protocol=protocol, lanes=lanes,
-                            backend=backend)
+                            adversary=adversary, backend=backend)
 
     _driver.__name__ = "scenario_" + spec.name.replace("-", "_")
     _driver.__qualname__ = _driver.__name__

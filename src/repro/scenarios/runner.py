@@ -42,16 +42,22 @@ def run_scenario(spec: ScenarioSpec,
                  workers: Optional[int] = None,
                  protocol: Optional[str] = None,
                  lanes: Optional[int] = None,
+                 adversary: Optional[str] = None,
                  seed: Optional[int] = None,
                  backend: Optional[str] = None) -> list[dict]:
     """Run one scenario; returns one result row (as a single-item list).
 
-    ``n_nodes`` / ``workers`` / ``protocol`` / ``lanes`` override the spec
-    (that is how the registry's ``cluster_size`` / ``workers`` / ``protocol``
-    / ``lanes`` sweep axes reach a scenario); ``seed`` defaults to the
-    scale's seed.  Durations come from the spec, not the scale — fault phase
-    times are absolute simulated seconds, so shrinking the run would
-    silently skip scheduled faults.
+    ``n_nodes`` / ``workers`` / ``protocol`` / ``lanes`` / ``adversary``
+    override the spec (that is how the registry's ``cluster_size`` /
+    ``workers`` / ``protocol`` / ``lanes`` / ``adversary`` sweep axes reach
+    a scenario); ``seed`` defaults to the scale's seed.  Durations come
+    from the spec, not the scale — fault phase times are absolute simulated
+    seconds, so shrinking the run would silently skip scheduled faults.
+
+    ``adversary`` names a registered :mod:`repro.adversary` strategy for
+    the spec's Byzantine nodes.  Only explicitly-swept strategies surface
+    as an ``adversary`` row column (plus the strategy's own counters):
+    committed Byzantine rows predate the column and keep their shape.
 
     ``backend`` selects the Environment/Network pair (``"sim"`` default,
     ``"realtime"`` for the live asyncio/TCP runtime); fault phase times then
@@ -63,8 +69,9 @@ def run_scenario(spec: ScenarioSpec,
         # turn imports this package to register the scenario library.
         from repro.experiments.harness import ExperimentScale
         scale = ExperimentScale()
-    from repro.scenarios.spec import LanesSpec
+    from repro.scenarios.spec import AdversarySpec, LanesSpec
 
+    adversary_explicit = adversary is not None
     overrides = {}
     if n_nodes is not None:
         overrides["n_nodes"] = n_nodes
@@ -74,6 +81,8 @@ def run_scenario(spec: ScenarioSpec,
         overrides["protocol"] = protocol
     if lanes is not None:
         overrides["lanes"] = LanesSpec(count=lanes)
+    if adversary_explicit:
+        overrides["adversary"] = AdversarySpec(strategy=adversary)
     if overrides:
         spec = spec.with_overrides(**overrides)  # re-validates fault node ids
     seed = scale.seed if seed is None else seed
@@ -119,6 +128,12 @@ def run_scenario(spec: ScenarioSpec,
             workload_box.append(workload)
 
     backend = backend or "sim"
+    # Bind the spec's adversary to the fault schedule's membership and timed
+    # windows; None without Byzantine nodes (the strategy would be inert).
+    strategy = None
+    if schedule.byzantine_nodes:
+        strategy = spec.adversary.build(schedule.byzantine_nodes,
+                                        windows=schedule.byzantine_windows())
     result = run_cluster(
         config,
         protocol=spec.protocol,
@@ -127,6 +142,7 @@ def run_scenario(spec: ScenarioSpec,
         seed=seed,
         latency_model=spec.topology.build(spec.n_nodes),
         byzantine_nodes=schedule.byzantine_nodes or None,
+        adversary=strategy,
         fault_controller=schedule.controller(),
         setup=_setup,
         excluded_nodes=schedule.excluded_nodes(),
@@ -162,7 +178,10 @@ def run_scenario(spec: ScenarioSpec,
         # blocks...) straight from the unified breakdown.  Lane-qualified
         # counters get their dedicated block below.
         for key, value in sorted(result.breakdown.items()):
+            # adversary_* counters get their dedicated block below (only for
+            # explicitly-swept strategies — committed rows keep their shape).
             if ("->" in key or key.startswith("lane")
+                    or key.startswith("adversary")
                     or key in _ROW_COVERED_COUNTERS
                     or key in _EXECUTION_COUNTERS or key in _FAIRNESS_METRICS):
                 continue
@@ -188,6 +207,13 @@ def run_scenario(spec: ScenarioSpec,
                 row[key] = round(result.breakdown[key], 3)
     if "tx_rejected" in result.breakdown:
         row["tx_rejected"] = result.transactions_rejected
+    if adversary_explicit:
+        # Surfaced only for explicitly-swept strategies: committed Byzantine
+        # rows predate the adversary layer and must keep their exact shape.
+        row["adversary"] = spec.adversary.strategy
+        for key, value in sorted(result.breakdown.items()):
+            if key.startswith("adversary_"):
+                row[key[len("adversary_"):]] = int(round(value))
     if spec.retention.bounded and spec.protocol == "fireledger":
         # Live-state watermarks for the soak/memfootprint accounting: the
         # largest per-worker live chain and per-node live record counts at

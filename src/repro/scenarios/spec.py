@@ -476,6 +476,58 @@ class LanesSpec:
         return f"{self.count} multiplexed lane(s)"
 
 
+# ----------------------------------------------------------------- adversary
+@dataclass(frozen=True)
+class AdversarySpec:
+    """How the fault schedule's Byzantine nodes misbehave.
+
+    ``strategy`` names a registered :mod:`repro.adversary` strategy; the
+    default (``equivocate``) is the pre-adversary-layer behaviour — the
+    paper's Section 7.4.2 equivocating proposer on FireLedger, fail-stop
+    silence on the baselines.  ``params`` are extra keyword arguments for
+    the strategy constructor (e.g. ``(("delay", 0.1),)`` for
+    ``delayed-release``).  The spec is inert unless the scenario's fault
+    schedule actually lists Byzantine nodes.
+    """
+
+    strategy: str = "equivocate"
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        from repro import adversary  # lazy: keeps spec importable standalone
+
+        if self.strategy not in adversary.names():
+            raise ValueError(f"unknown adversary strategy {self.strategy!r}; "
+                             f"known: {', '.join(adversary.names())}")
+
+    @classmethod
+    def from_dict(cls, data) -> "AdversarySpec":
+        """Accept a bare strategy name or ``{"strategy": ..., "params": ...}``."""
+        if isinstance(data, str):
+            return cls(strategy=data)
+        _check_unknown(data, cls)
+        kwargs = dict(data)
+        params = kwargs.get("params")
+        if isinstance(params, Mapping):
+            kwargs["params"] = tuple(sorted(params.items()))
+        elif params is not None:
+            kwargs["params"] = tuple((key, value) for key, value in params)
+        return cls(**kwargs)
+
+    def build(self, nodes, windows=None):
+        """Bind this spec to a Byzantine membership and its timed windows."""
+        from repro import adversary
+
+        return adversary.build(self.strategy, nodes=frozenset(nodes),
+                               windows=windows, **dict(self.params))
+
+    def summary(self) -> str:
+        if not self.params:
+            return self.strategy
+        rendered = ", ".join(f"{key}={value!r}" for key, value in self.params)
+        return f"{self.strategy} ({rendered})"
+
+
 # ------------------------------------------------------------------ scenario
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -499,6 +551,8 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: How the fault schedule's Byzantine nodes misbehave (inert without any).
+    adversary: AdversarySpec = field(default_factory=AdversarySpec)
     #: Account state machine applied at delivery (plus the state-root oracle).
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     #: Memory bounds for long-horizon runs (chain pruning, streamed metrics).
@@ -554,6 +608,9 @@ class ScenarioSpec:
             # Accept both {"phases": [...]} and a bare phase list.
             phases = faults["phases"] if isinstance(faults, Mapping) else faults
             kwargs["faults"] = FaultSchedule.from_dicts(phases)
+        if "adversary" in kwargs and not isinstance(kwargs["adversary"],
+                                                    AdversarySpec):
+            kwargs["adversary"] = AdversarySpec.from_dict(kwargs["adversary"])
         if "config_overrides" in kwargs:
             overrides = kwargs["config_overrides"]
             if isinstance(overrides, Mapping):
@@ -589,6 +646,8 @@ class ScenarioSpec:
             "workload": self.workload.summary(),
             "faults": self.faults.summary(),
         }
+        if self.faults.byzantine_nodes:
+            summary["adversary"] = self.adversary.summary()
         if self.execution.enabled:
             summary["execution"] = self.execution.summary()
         if self.retention.bounded:

@@ -59,8 +59,8 @@ def cluster_result():
     """
     run_params = ("protocol", "duration", "warmup", "seed", "latency_model",
                   "geo_distributed", "crash_schedule", "byzantine_nodes",
-                  "fault_controller", "latency_trim", "setup",
-                  "excluded_nodes")
+                  "adversary", "fault_controller", "latency_trim", "setup",
+                  "excluded_nodes", "backend")
     defaults = dict(n_nodes=4, workers=1, batch_size=10, tx_size=512,
                     duration=0.6, warmup=0.1, seed=3)
     cache: dict = {}

@@ -3,8 +3,9 @@
 import pytest
 
 from repro import FireLedgerConfig, run_cluster
+from repro.adversary import EquivocatingWorker, build as build_adversary
 from repro.core.failure_detector import BenignFailureDetector
-from repro.faults import ByzantineEquivocatorWorker, CrashSchedule, byzantine_worker_factory
+from repro.faults import CrashSchedule
 
 
 @pytest.fixture(scope="module")
@@ -48,20 +49,21 @@ def test_byzantine_worker_splits_cluster_into_two_groups():
                          byzantine_nodes=frozenset({0}))
     byzantine_node = result.nodes[0]
     worker = byzantine_node.workers[0]
-    assert isinstance(worker, ByzantineEquivocatorWorker)
+    assert isinstance(worker, EquivocatingWorker)
     assert worker.group_a | worker.group_b == set(range(4))
     assert not (worker.group_a & worker.group_b)
     assert worker.equivocations > 0
 
 
-def test_byzantine_factory_only_affects_listed_nodes():
-    factory = byzantine_worker_factory(frozenset({2}))
+def test_adversary_strategy_only_affects_listed_nodes():
+    strategy = build_adversary("equivocate", nodes=frozenset({2}))
     config = FireLedgerConfig(n_nodes=4, workers=1, batch_size=10, tx_size=512)
     result = run_cluster(config, duration=0.3, warmup=0.1, seed=3,
-                         byzantine_nodes=frozenset({2}))
+                         byzantine_nodes=frozenset({2}), adversary=strategy)
     for node in result.nodes:
-        is_byz = isinstance(node.workers[0], ByzantineEquivocatorWorker)
+        is_byz = isinstance(node.workers[0], EquivocatingWorker)
         assert is_byz == (node.node_id == 2)
+    assert result.breakdown["adversary_equivocations"] > 0
 
 
 def test_rescinded_blocks_are_replaced_not_duplicated(byzantine_result):

@@ -64,6 +64,18 @@ def test_byzantine_minority_identical_across_kernels(monkeypatch):
     assert batched[0]["state_root"]
 
 
+@pytest.mark.parametrize("adversary", ["equivocate", "delayed-release"])
+def test_adversary_strategies_identical_across_kernels(monkeypatch, adversary):
+    """Adversary seams (worker substitution, call_later-based traffic
+    shaping) must not observe kernel internals: same rows on both kernels."""
+    batched = _rows(monkeypatch, "adversary-gauntlet", False,
+                    adversary=adversary)
+    reference = _rows(monkeypatch, "adversary-gauntlet", True,
+                      adversary=adversary)
+    _assert_identical(batched, reference)
+    assert batched[0]["state_root"]
+
+
 def test_reference_env_var_forces_slow_kernel(monkeypatch):
     monkeypatch.setenv(KERNEL_REFERENCE_ENV, "1")
     assert Environment().reference

@@ -174,8 +174,11 @@ def test_phase_validation():
         partition([(0, 1), (2, 3)], start=0.5, end=0.5)
     with pytest.raises(ValueError, match="loss_rate"):
         loss(0.0)
-    with pytest.raises(ValueError, match="at must be 0"):
-        FaultPhase(kind="byzantine", nodes=(1,), at=0.5)
+    with pytest.raises(ValueError, match="until > at"):
+        byzantine(1, at=0.5, until=0.5)
+    with pytest.raises(ValueError, match="overlapping byzantine windows"):
+        FaultSchedule(phases=(byzantine(1, at=0.0, until=0.5),
+                              byzantine(1, at=0.3)))
     schedule = FaultSchedule(phases=(crash(9, at=0.1),))
     with pytest.raises(ValueError, match="outside a 4-node cluster"):
         schedule.validate(4)
@@ -292,7 +295,7 @@ def test_every_library_scenario_is_registered():
         spec = registry.get("scenario:" + name)
         assert spec.title == f"Scenario — {name}"
         assert set(spec.axes) == {"cluster_size", "workers", "protocol",
-                                  "lanes", "backend"}
+                                  "lanes", "backend", "adversary"}
 
 
 def test_scenario_sweep_and_resume(tmp_path):
